@@ -1,0 +1,185 @@
+/**
+ * @file
+ * §6 extension ablation: no-copy page recoloring via shadow memory.
+ *
+ * The paper's future-work list includes using shadow memory to
+ * implement no-copy page recoloring [Bershad et al.]: when two hot
+ * pages collide in a physically indexed direct-mapped cache, remap
+ * one of them to a shadow address of a different color instead of
+ * copying it to a different frame.
+ *
+ * This harness builds a working set of hot page pairs that collide
+ * by construction and compares three policies:
+ *
+ *   none     - live with the conflict misses;
+ *   copy     - conventional recoloring: copy each offender to a
+ *              frame of a free color (~11 K cycles per page, §3.3);
+ *   shadow   - remap each offender to a recolored shadow page
+ *              (~1.5 K cycles, no copy).
+ *
+ * Usage: recolor_ablation
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/system.hh"
+
+using namespace mtlbsim;
+
+namespace
+{
+
+constexpr Addr MB = 1024 * 1024;
+constexpr Addr dataBase = 0x10000000;
+
+SystemConfig
+machine()
+{
+    SystemConfig c;
+    c.installedBytes = 64 * MB;
+    c.cache.virtuallyIndexed = false;
+    return c;
+}
+
+/** Find @p pairs (a, b) of virtual pages whose frames share a
+ *  color. Touches pages to materialise them. */
+std::vector<std::pair<Addr, Addr>>
+findConflicts(System &sys, unsigned pairs)
+{
+    std::vector<std::pair<Addr, Addr>> result;
+    std::vector<Addr> by_color[128];
+    for (Addr off = 0; off < 24 * MB && result.size() < pairs;
+         off += basePageSize) {
+        const Addr va = dataBase + off;
+        sys.cpu().load(va);
+        const unsigned color = sys.kernel().colorOf(va);
+        by_color[color].push_back(va);
+        if (by_color[color].size() == 2) {
+            result.emplace_back(by_color[color][0],
+                                by_color[color][1]);
+            by_color[color].clear();
+        }
+    }
+    fatalIf(result.size() < pairs, "not enough conflicts found");
+    return result;
+}
+
+/** Ping-pong between the pages of every pair. */
+Cycles
+hammer(System &sys, const std::vector<std::pair<Addr, Addr>> &pairs,
+       unsigned reps)
+{
+    const Cycles start = sys.cpu().now();
+    for (unsigned r = 0; r < reps; ++r) {
+        for (const auto &[a, b] : pairs) {
+            for (unsigned line = 0; line < 4; ++line) {
+                sys.cpu().execute(3);
+                sys.cpu().load(a + line * 32);
+                sys.cpu().execute(3);
+                sys.cpu().load(b + line * 32);
+            }
+        }
+    }
+    return sys.cpu().now() - start;
+}
+
+/** Model of conventional copy-based recoloring: pay a warm page
+ *  copy (§3.3: ~11,400 cycles) per recolored page. The copy itself
+ *  is simulated with the same word loop sec33 measures. */
+Cycles
+copyRecolor(System &sys, Addr va)
+{
+    // Copy to a scratch page, then back-map: in a real kernel the
+    // page would move frames; the dominant cost is the copy loop.
+    const Addr scratch = dataBase + 30 * MB;
+    for (Addr off = 0; off < basePageSize; off += 4) {
+        sys.cpu().execute(9);
+        sys.cpu().load(va + off);
+        sys.cpu().store(scratch + off);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+
+    constexpr unsigned num_pairs = 16;
+    constexpr unsigned reps = 2000;
+
+    std::printf("=== §6 ablation: no-copy page recoloring "
+                "(physically indexed 512 KB cache,\n    %u colliding "
+                "page pairs, %u hammer rounds)\n\n", num_pairs, reps);
+    std::printf("%-10s %16s %16s %14s\n", "policy", "fix cost (cyc)",
+                "hammer cycles", "cache misses");
+
+    // Policy: none.
+    {
+        System sys(machine());
+        sys.kernel().addressSpace().addRegion("data", dataBase,
+                                              32 * MB, {});
+        auto pairs = findConflicts(sys, num_pairs);
+        const auto m0 = sys.cache().misses();
+        const Cycles t = hammer(sys, pairs, reps);
+        std::printf("%-10s %16s %16llu %14llu\n", "none", "-",
+                    static_cast<unsigned long long>(t),
+                    static_cast<unsigned long long>(
+                        sys.cache().misses() - m0));
+    }
+
+    // Policy: copy-based recoloring.
+    {
+        System sys(machine());
+        sys.kernel().addressSpace().addRegion("data", dataBase,
+                                              32 * MB, {});
+        auto pairs = findConflicts(sys, num_pairs);
+        const Cycles fix_start = sys.cpu().now();
+        for (auto &[a, b] : pairs) {
+            copyRecolor(sys, b);
+            // After the copy the data lives in a new frame of a
+            // fresh color; model the new placement by recoloring the
+            // mapping (cheap part) — the copy loop above already
+            // charged the expensive part.
+            sys.cpu().recolorPage(
+                b, (sys.kernel().colorOf(a) + 64) % 128);
+        }
+        const Cycles fix = sys.cpu().now() - fix_start;
+        const auto m0 = sys.cache().misses();
+        const Cycles t = hammer(sys, pairs, reps);
+        std::printf("%-10s %16llu %16llu %14llu\n", "copy",
+                    static_cast<unsigned long long>(fix),
+                    static_cast<unsigned long long>(t),
+                    static_cast<unsigned long long>(
+                        sys.cache().misses() - m0));
+    }
+
+    // Policy: shadow recoloring (no copy).
+    {
+        System sys(machine());
+        sys.kernel().addressSpace().addRegion("data", dataBase,
+                                              32 * MB, {});
+        auto pairs = findConflicts(sys, num_pairs);
+        const Cycles fix_start = sys.cpu().now();
+        for (auto &[a, b] : pairs) {
+            sys.cpu().recolorPage(
+                b, (sys.kernel().colorOf(a) + 64) % 128);
+        }
+        const Cycles fix = sys.cpu().now() - fix_start;
+        const auto m0 = sys.cache().misses();
+        const Cycles t = hammer(sys, pairs, reps);
+        std::printf("%-10s %16llu %16llu %14llu\n", "shadow",
+                    static_cast<unsigned long long>(fix),
+                    static_cast<unsigned long long>(t),
+                    static_cast<unsigned long long>(
+                        sys.cache().misses() - m0));
+    }
+
+    std::printf("\nshadow recoloring removes the conflict for a "
+                "fraction of the copy cost\n(and the data never "
+                "moves, so no copy-back is ever needed either).\n");
+    return 0;
+}

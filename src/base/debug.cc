@@ -1,0 +1,103 @@
+#include "base/debug.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace mtlbsim::debug
+{
+
+namespace
+{
+
+/** Global flag registry (function-local static avoids order-of-
+ *  initialisation issues with flags defined at namespace scope). */
+std::map<std::string, Flag *> &
+registry()
+{
+    static std::map<std::string, Flag *> flags;
+    return flags;
+}
+
+} // namespace
+
+Flag::Flag(const std::string &name) : name_(name)
+{
+    auto [it, inserted] = registry().emplace(name, this);
+    (void)it;
+    fatalIf(!inserted, "duplicate debug flag '", name, "'");
+}
+
+Flag::~Flag()
+{
+    registry().erase(name_);
+}
+
+void
+enableFlag(const std::string &name)
+{
+    auto it = registry().find(name);
+    fatalIf(it == registry().end(), "no debug flag named '", name,
+            "'");
+    it->second->enable();
+}
+
+void
+disableFlag(const std::string &name)
+{
+    auto it = registry().find(name);
+    fatalIf(it == registry().end(), "no debug flag named '", name,
+            "'");
+    it->second->disable();
+}
+
+std::vector<std::string>
+allFlags()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, flag] : registry())
+        names.push_back(name);
+    return names;
+}
+
+void
+enableFromList(const std::string &list)
+{
+    std::size_t begin = 0;
+    while (begin <= list.size()) {
+        std::size_t end = list.find(',', begin);
+        if (end == std::string::npos)
+            end = list.size();
+        const std::string token = list.substr(begin, end - begin);
+        if (!token.empty()) {
+            if (token == "All") {
+                for (auto &[name, flag] : registry())
+                    flag->enable();
+            } else {
+                enableFlag(token);
+            }
+        }
+        begin = end + 1;
+    }
+}
+
+void
+initFromEnvironment()
+{
+    if (const char *env = std::getenv("MTLBSIM_DEBUG"))
+        enableFromList(env);
+}
+
+namespace detail
+{
+
+void
+emit(const std::string &flag_name, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", flag_name.c_str(), msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace mtlbsim::debug

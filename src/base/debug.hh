@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Named debug flags and trace printing (gem5's DPRINTF, miniature).
+ *
+ * Components print through debugPrintf(flag, ...) guarded by a named
+ * flag; flags are enabled at runtime (e.g. from MTLBSIM_DEBUG in the
+ * environment, or programmatically in tests) so diagnosing a run
+ * never requires a rebuild.
+ *
+ *     debug::Flag traceMtlb("MTLB");
+ *     ...
+ *     debugPrintf(traceMtlb, "fill spi=", spi, " pfn=", pfn);
+ *
+ * Disabled flags cost one boolean test.
+ */
+
+#ifndef MTLBSIM_BASE_DEBUG_HH
+#define MTLBSIM_BASE_DEBUG_HH
+
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace mtlbsim::debug
+{
+
+/**
+ * A named, registry-tracked debug flag.
+ */
+class Flag
+{
+  public:
+    /** Register a flag; names must be unique. */
+    explicit Flag(const std::string &name);
+    ~Flag();
+
+    Flag(const Flag &) = delete;
+    Flag &operator=(const Flag &) = delete;
+
+    const std::string &name() const { return name_; }
+    bool enabled() const { return enabled_; }
+
+    void enable() { enabled_ = true; }
+    void disable() { enabled_ = false; }
+
+  private:
+    std::string name_;
+    bool enabled_ = false;
+};
+
+/** Enable a flag by name; fatal when no such flag exists. */
+void enableFlag(const std::string &name);
+
+/** Disable a flag by name; fatal when no such flag exists. */
+void disableFlag(const std::string &name);
+
+/** Names of all registered flags. */
+std::vector<std::string> allFlags();
+
+/**
+ * Enable flags from a comma-separated list, e.g. "MTLB,Kernel".
+ * The token "All" enables everything. Used with the MTLBSIM_DEBUG
+ * environment variable by initFromEnvironment().
+ */
+void enableFromList(const std::string &list);
+
+/** Read MTLBSIM_DEBUG from the environment (no-op if unset). */
+void initFromEnvironment();
+
+namespace detail
+{
+void emit(const std::string &flag_name, const std::string &msg);
+}
+
+} // namespace mtlbsim::debug
+
+namespace mtlbsim
+{
+
+/** Print a trace line when @p flag is enabled. */
+template <typename... Args>
+void
+debugPrintf(const debug::Flag &flag, Args &&...args)
+{
+    if (!flag.enabled())
+        return;
+    debug::detail::emit(
+        flag.name(),
+        detail::buildMessage(std::forward<Args>(args)...));
+}
+
+} // namespace mtlbsim
+
+#endif // MTLBSIM_BASE_DEBUG_HH

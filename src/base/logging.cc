@@ -1,0 +1,32 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+
+namespace mtlbsim
+{
+
+namespace
+{
+bool informEnabled = true;
+}
+
+void
+setInformEnabled(bool enabled)
+{
+    informEnabled = enabled;
+}
+
+namespace detail
+{
+
+void
+emitLog(const char *level, const std::string &msg)
+{
+    if (level == std::string("info") && !informEnabled)
+        return;
+    std::fprintf(stderr, "%s: %s\n", level, msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace mtlbsim

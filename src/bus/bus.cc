@@ -1,0 +1,52 @@
+#include "bus/bus.hh"
+
+namespace mtlbsim
+{
+
+Bus::Bus(const BusConfig &config, stats::StatGroup &parent)
+    : config_(config),
+      statGroup_("bus"),
+      transactions_(statGroup_.addScalar("transactions",
+                                         "bus transactions issued")),
+      queueCycles_(statGroup_.addScalar("queue_cycles",
+                                        "CPU cycles spent queued for the "
+                                        "bus")),
+      busyCycles_(statGroup_.addScalar("busy_cycles",
+                                       "CPU cycles the bus was occupied"))
+{
+    parent.addChild(&statGroup_);
+}
+
+Cycles
+Bus::occupy(Cycles now, Cycles bus_cycles)
+{
+    const Cycles duration = mmcToCpuCycles(bus_cycles);
+    Cycles queue = 0;
+    if (busyUntil_ > now)
+        queue = busyUntil_ - now;
+    busyUntil_ = now + queue + duration;
+
+    queueCycles_ += static_cast<double>(queue);
+    busyCycles_ += static_cast<double>(duration);
+    return queue + duration;
+}
+
+Cycles
+Bus::request(BusOp op, Cycles now)
+{
+    ++transactions_;
+    Cycles bus_cycles = config_.arbitrationCycles + config_.addressCycles;
+    if (op == BusOp::WriteBack)
+        bus_cycles += config_.lineDataCycles;
+    else if (op == BusOp::Uncached)
+        bus_cycles += 1;  // one word of payload
+    return occupy(now, bus_cycles);
+}
+
+Cycles
+Bus::dataReturn(Cycles now)
+{
+    return occupy(now, config_.lineDataCycles);
+}
+
+} // namespace mtlbsim

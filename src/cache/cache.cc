@@ -1,0 +1,129 @@
+#include "cache/cache.hh"
+
+namespace mtlbsim
+{
+
+Cache::Cache(const CacheConfig &config, MemBackend &backend,
+             stats::StatGroup &parent)
+    : config_(config), backend_(backend),
+      numLines_(config.sizeBytes >> cacheLineShift),
+      indexMask_(numLines_ - 1),
+      lines_(numLines_),
+      statGroup_("cache"),
+      hits_(statGroup_.addScalar("hits", "cache hits")),
+      misses_(statGroup_.addScalar("misses", "cache misses (line fills)")),
+      writeBacks_(statGroup_.addScalar("write_backs",
+                                       "dirty lines written back")),
+      flushedLines_(statGroup_.addScalar("flushed_lines",
+                                         "lines flushed by remap()")),
+      fillLatency_(statGroup_.addAverage("fill_latency",
+                                         "CPU cycles per cache fill "
+                                         "(Fig 4B metric)"))
+{
+    fatalIf(!isPowerOf2(config.sizeBytes), "cache size must be power of 2");
+    fatalIf(config.sizeBytes < basePageSize,
+            "cache smaller than a page is not supported");
+    parent.addChild(&statGroup_);
+}
+
+unsigned
+Cache::indexOf(Addr vaddr, Addr paddr) const
+{
+    const Addr key = config_.virtuallyIndexed ? vaddr : paddr;
+    return static_cast<unsigned>(key >> cacheLineShift) & indexMask_;
+}
+
+CacheAccessResult
+Cache::access(Addr vaddr, Addr paddr, bool write, Cycles now)
+{
+    Line &line = lines_[indexOf(vaddr, paddr)];
+    const Addr line_tag = lineBase(paddr);
+
+    if (line.valid && line.tag == line_tag) {
+        ++hits_;
+        if (write)
+            line.dirty = true;
+        return {true, config_.hitCycles};
+    }
+
+    ++misses_;
+    Cycles latency = config_.hitCycles;
+
+    // Evict the victim first; the write-back occupies the bus but the
+    // fill does not wait for the memory write to complete (the MMC
+    // buffers it), so only the bus-acceptance latency is serial.
+    if (line.valid && line.dirty) {
+        ++writeBacks_;
+        latency += backend_.writeBack(line.tag, now + latency);
+    }
+
+    const Cycles fill = backend_.lineFill(line_tag, write, now + latency);
+    fillLatency_.sample(static_cast<double>(fill));
+    latency += fill;
+
+    line.valid = true;
+    line.dirty = write;
+    line.tag = line_tag;
+    return {false, latency};
+}
+
+Cycles
+Cache::flushPage(Addr vaddr, Addr paddr, Cycles now)
+{
+    const Addr vbase = pageBase(vaddr);
+    const Addr pbase = pageBase(paddr);
+    Cycles cost = 0;
+
+    const unsigned lines_per_page = basePageSize >> cacheLineShift;
+    for (unsigned i = 0; i < lines_per_page; ++i) {
+        const Addr va = vbase + (static_cast<Addr>(i) << cacheLineShift);
+        const Addr ptag = pbase + (static_cast<Addr>(i) << cacheLineShift);
+        cost += config_.flushProbeCycles;
+        Line &line = lines_[indexOf(va, ptag)];
+        if (line.valid && line.tag == ptag) {
+            ++flushedLines_;
+            if (line.dirty) {
+                ++writeBacks_;
+                cost += backend_.writeBack(line.tag, now + cost);
+            }
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+    return cost;
+}
+
+void
+Cache::invalidateLine(Addr vaddr, Addr paddr)
+{
+    Line &line = lines_[indexOf(vaddr, paddr)];
+    if (line.valid && line.tag == lineBase(paddr)) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+bool
+Cache::probe(Addr vaddr, Addr paddr) const
+{
+    const Line &line = lines_[indexOf(vaddr, paddr)];
+    return line.valid && line.tag == lineBase(paddr);
+}
+
+bool
+Cache::probeDirty(Addr vaddr, Addr paddr) const
+{
+    const Line &line = lines_[indexOf(vaddr, paddr)];
+    return line.valid && line.dirty && line.tag == lineBase(paddr);
+}
+
+} // namespace mtlbsim

@@ -1,0 +1,118 @@
+#include "cpu/cpu.hh"
+
+namespace mtlbsim
+{
+
+Cpu::Cpu(const CpuConfig &config, Tlb &tlb, MicroItlb &uitlb,
+         Cache &cache, MemorySystem &memsys, Kernel &kernel,
+         stats::StatGroup &parent)
+    : config_(config), tlb_(tlb), uitlb_(uitlb), cache_(cache),
+      memsys_(memsys), kernel_(kernel),
+      statGroup_("cpu"),
+      instructions_(statGroup_.addScalar("instructions",
+                                         "instructions retired")),
+      loads_(statGroup_.addScalar("loads", "data loads issued")),
+      stores_(statGroup_.addScalar("stores", "data stores issued")),
+      ifetchChecks_(statGroup_.addScalar("ifetch_checks",
+                                         "instruction-fetch translation "
+                                         "checks")),
+      stallCycles_(statGroup_.addScalar("stall_cycles",
+                                        "cycles stalled on memory")),
+      hiddenCycles_(statGroup_.addScalar("hidden_cycles",
+                                         "miss cycles hidden by "
+                                         "stall-on-use overlap"))
+{
+    parent.addChild(&statGroup_);
+}
+
+Addr
+Cpu::translate(Addr vaddr, AccessType type)
+{
+    TlbLookupResult result = tlb_.lookup(vaddr, type, AccessMode::User);
+    if (!result.hit) {
+        // Trap to the software miss handler (§3.2). Its cycles are
+        // the Figure 3 "TLB miss time".
+        now_ += kernel_.handleTlbMiss(vaddr, type, now_);
+        result = tlb_.lookup(vaddr, type, AccessMode::User);
+        panicIf(!result.hit, "TLB miss immediately after handler");
+    }
+    fatalIf(result.protFault,
+            "protection fault at 0x", std::hex, vaddr);
+    return result.paddr;
+}
+
+void
+Cpu::executeAt(Counter n, Addr code_vaddr)
+{
+    ++ifetchChecks_;
+    if (!uitlb_.hit(code_vaddr)) {
+        // The unified TLB provides the translation; it may trap.
+        translate(code_vaddr, AccessType::IFetch);
+        // Cache the translation in the micro-ITLB for subsequent
+        // sequential fetches.
+        auto entry = tlb_.probe(code_vaddr);
+        panicIf(!entry, "ITLB fill lost its unified-TLB entry");
+        uitlb_.fill(*entry);
+    }
+    execute(n);
+}
+
+void
+Cpu::dataAccess(Addr vaddr, AccessType type)
+{
+    const bool is_store = type == AccessType::Write;
+    if (is_store)
+        ++stores_;
+    else
+        ++loads_;
+
+    const Addr paddr = translate(vaddr, type);
+
+    CacheAccessResult r = cache_.access(vaddr, paddr, is_store, now_);
+
+    if (memsys_.faulted()) {
+        // The MMC raised a precise fault: the base page backing this
+        // shadow address is swapped out (§4). The bogus line must
+        // not remain cached; the kernel reloads the page and the
+        // access retries.
+        cache_.invalidateLine(vaddr, paddr);
+        now_ += r.latency;
+        now_ += kernel_.handleShadowPageFault(vaddr, now_);
+        r = cache_.access(vaddr, paddr, is_store, now_);
+        panicIf(memsys_.faulted(), "shadow fault persists after reload");
+    }
+
+    if (r.hit) {
+        now_ += r.latency;
+        return;
+    }
+
+    // Miss timing: apply the stall-on-use / store-buffer overlap
+    // approximations.
+    if (is_store && config_.storeBuffer) {
+        // The store retires into the buffer; the CPU only waits if
+        // the buffer is still draining a previous miss.
+        if (now_ < storeBufferBusyUntil_) {
+            const Cycles wait = storeBufferBusyUntil_ - now_;
+            stallCycles_ += static_cast<double>(wait);
+            now_ += wait;
+        }
+        hiddenCycles_ += static_cast<double>(r.latency - 1);
+        storeBufferBusyUntil_ = now_ + r.latency;
+        now_ += 1;
+        return;
+    }
+
+    Cycles charged = r.latency;
+    if (config_.loadUseOverlap > 0) {
+        const Cycles hidden =
+            charged - 1 < config_.loadUseOverlap ? charged - 1
+                                                 : config_.loadUseOverlap;
+        hiddenCycles_ += static_cast<double>(hidden);
+        charged -= hidden;
+    }
+    stallCycles_ += static_cast<double>(charged > 1 ? charged - 1 : 0);
+    now_ += charged;
+}
+
+} // namespace mtlbsim

@@ -1,0 +1,57 @@
+#include "mem/dram.hh"
+
+namespace mtlbsim
+{
+
+Dram::Dram(const DramConfig &config, stats::StatGroup &parent)
+    : config_(config),
+      bankShift_(floorLog2(config.rowBytes)),
+      openRow_(config.numBanks, ~Addr{0}),
+      statGroup_("dram"),
+      accesses_(statGroup_.addScalar("accesses", "total DRAM accesses")),
+      rowHits_(statGroup_.addScalar("row_hits", "open-row hits")),
+      rowMisses_(statGroup_.addScalar("row_misses", "open-row misses"))
+{
+    fatalIf(!isPowerOf2(config.numBanks), "numBanks must be a power of 2");
+    fatalIf(!isPowerOf2(config.rowBytes), "rowBytes must be a power of 2");
+    fatalIf(config.rowHitMmcCycles == 0 || config.rowMissMmcCycles == 0,
+            "DRAM latencies must be nonzero");
+    parent.addChild(&statGroup_);
+}
+
+unsigned
+Dram::bankOf(Addr addr) const
+{
+    // Interleave consecutive rows across banks.
+    return (addr >> bankShift_) & (config_.numBanks - 1);
+}
+
+Addr
+Dram::rowOf(Addr addr) const
+{
+    return addr >> (bankShift_ + floorLog2(config_.numBanks));
+}
+
+Cycles
+Dram::access(Addr addr, bool is_line_fill)
+{
+    ++accesses_;
+    const unsigned bank = bankOf(addr);
+    const Addr row = rowOf(addr);
+
+    Cycles latency;
+    if (openRow_[bank] == row) {
+        ++rowHits_;
+        latency = config_.rowHitMmcCycles;
+    } else {
+        ++rowMisses_;
+        latency = config_.rowMissMmcCycles;
+        openRow_[bank] = row;
+    }
+
+    if (is_line_fill)
+        latency += config_.burstMmcCycles;
+    return latency;
+}
+
+} // namespace mtlbsim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * DRAM timing model with per-bank open-row tracking.
+ *
+ * The MMC in the paper is modelled on the HP 9000 J-class memory
+ * controller [Hotchkiss et al. 96]. We model a small number of
+ * interleaved banks, each with one open row: an access to the open
+ * row costs the row-hit latency, otherwise the row-miss latency.
+ * All latencies are in 120 MHz MMC cycles; callers convert to CPU
+ * cycles at the boundary.
+ */
+
+#ifndef MTLBSIM_MEM_DRAM_HH
+#define MTLBSIM_MEM_DRAM_HH
+
+#include <vector>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+#include "base/types.hh"
+#include "stats/stats.hh"
+
+namespace mtlbsim
+{
+
+/** Configuration for the DRAM timing model. */
+struct DramConfig
+{
+    unsigned numBanks = 4;          ///< interleaved banks (power of 2)
+    Addr rowBytes = 4096;           ///< row-buffer size per bank
+    Cycles rowHitMmcCycles = 4;     ///< CAS-only access
+    Cycles rowMissMmcCycles = 8;    ///< precharge + RAS + CAS
+    /** MMC cycles to burst one 32-byte cache line over the array bus. */
+    Cycles burstMmcCycles = 4;
+};
+
+/**
+ * Cycle-cost DRAM model. Stateless except for open-row registers,
+ * so a single instance can be shared by all requesters behind the
+ * MMC's single port.
+ */
+class Dram
+{
+  public:
+    Dram(const DramConfig &config, stats::StatGroup &parent);
+
+    /**
+     * Access one cache line (or a table entry) at @p addr.
+     * @param is_line_fill true for full-line transfers (adds burst)
+     * @return latency in MMC cycles
+     */
+    Cycles access(Addr addr, bool is_line_fill);
+
+    /** Latency of a minimal (non-burst) access, e.g. an MTLB table
+     *  fill read; equivalent to access(addr, false). */
+    Cycles tableRead(Addr addr) { return access(addr, false); }
+
+    const DramConfig &config() const { return config_; }
+
+  private:
+    unsigned bankOf(Addr addr) const;
+    Addr rowOf(Addr addr) const;
+
+    DramConfig config_;
+    unsigned bankShift_;
+    std::vector<Addr> openRow_;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar &accesses_;
+    stats::Scalar &rowHits_;
+    stats::Scalar &rowMisses_;
+};
+
+} // namespace mtlbsim
+
+#endif // MTLBSIM_MEM_DRAM_HH

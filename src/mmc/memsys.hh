@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The composed memory subsystem: bus + MMC (+ MTLB + DRAM).
+ *
+ * Implements the cache's MemBackend interface and offers the OS an
+ * uncached control-operation path. All CPU-visible latencies are in
+ * CPU cycles; internally the bus and MMC work in 120 MHz cycles.
+ */
+
+#ifndef MTLBSIM_MMC_MEMSYS_HH
+#define MTLBSIM_MMC_MEMSYS_HH
+
+#include <functional>
+
+#include "bus/bus.hh"
+#include "cache/cache.hh"
+#include "mmc/mmc.hh"
+
+namespace mtlbsim
+{
+
+/**
+ * Bus + MMC composition behind the cache.
+ */
+class MemorySystem : public MemBackend
+{
+  public:
+    MemorySystem(const BusConfig &bus_config, const MmcConfig &mmc_config,
+                 const PhysMap &physmap, stats::StatGroup &parent)
+        : bus_(bus_config, parent), mmc_(mmc_config, physmap, parent)
+    {}
+
+    /**
+     * Fetch a line through bus -> MMC -> DRAM -> bus.
+     * If the shadow mapping has been invalidated the MMC raises a
+     * precise fault; the fill still consumes its latency and
+     * faulted() reports it until the next fill.
+     */
+    Cycles
+    lineFill(Addr paddr, bool exclusive, Cycles now) override
+    {
+        const BusOp bus_op =
+            exclusive ? BusOp::ReadExclusive : BusOp::ReadShared;
+        Cycles latency = bus_.request(bus_op, now);
+
+        const MmcOp op =
+            exclusive ? MmcOp::ExclusiveFill : MmcOp::SharedFill;
+        const MmcResult r = mmc_.service(op, paddr, now + latency);
+        latency += mmcToCpuCycles(r.mmcCycles);
+        lastFillFaulted_ = r.fault;
+
+        latency += bus_.dataReturn(now + latency);
+        return latency;
+    }
+
+    /**
+     * Write a dirty line back. The line occupies the bus and is
+     * processed by the MMC (updating MTLB dirty bits, §2.5), but the
+     * CPU does not wait for the DRAM write: only bus-acceptance
+     * latency is returned.
+     */
+    Cycles
+    writeBack(Addr paddr, Cycles now) override
+    {
+        const Cycles bus_latency = bus_.request(BusOp::WriteBack, now);
+        mmc_.service(MmcOp::WriteBack, paddr, now + bus_latency);
+        return bus_latency;
+    }
+
+    /**
+     * Perform an uncached MMC control operation (§2.4): the OS's
+     * kernel writes to MMC control registers to install mappings,
+     * purge them, or read access bits.
+     *
+     * @param now current CPU-cycle time
+     * @param op  callable invoked with the MMC; returns MMC-side
+     *            cycles consumed
+     * @return    total CPU cycles (bus + MMC)
+     */
+    Cycles
+    controlOp(Cycles now, const std::function<Cycles(Mmc &)> &op)
+    {
+        Cycles latency = bus_.request(BusOp::Uncached, now);
+        latency += mmcToCpuCycles(op(mmc_));
+        return latency;
+    }
+
+    /** True if the last lineFill hit an invalidated shadow mapping. */
+    bool faulted() const { return lastFillFaulted_; }
+
+    Bus &bus() { return bus_; }
+    Mmc &mmc() { return mmc_; }
+
+  private:
+    Bus bus_;
+    Mmc mmc_;
+    bool lastFillFaulted_ = false;
+};
+
+} // namespace mtlbsim
+
+#endif // MTLBSIM_MMC_MEMSYS_HH

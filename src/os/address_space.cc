@@ -1,0 +1,155 @@
+#include "os/address_space.hh"
+
+namespace mtlbsim
+{
+
+AddressSpace::AddressSpace(Addr pt_pool_base)
+    : ptPoolBase_(pt_pool_base),
+      ptPoolCursor_(pt_pool_base + basePageSize) // slot 0 is the L1 node
+{}
+
+void
+AddressSpace::addRegion(const std::string &name, Addr base, Addr size,
+                        PageProtection prot)
+{
+    fatalIf(base & basePageMask, "region base must be page aligned");
+    fatalIf(size == 0 || (size & basePageMask),
+            "region size must be a nonzero page multiple");
+    for (const auto &r : regions_) {
+        fatalIf(base < r.end() && r.base < base + size,
+                "region '", name, "' overlaps region '", r.name, "'");
+    }
+    regions_.push_back({name, base, size, prot});
+}
+
+void
+AddressSpace::growRegion(const std::string &name, Addr new_size)
+{
+    for (auto &r : regions_) {
+        if (r.name != name)
+            continue;
+        fatalIf(new_size < r.size, "regions can only grow");
+        fatalIf(new_size & basePageMask,
+                "region size must be a page multiple");
+        for (const auto &other : regions_) {
+            if (&other == &r)
+                continue;
+            fatalIf(r.base < other.end() &&
+                        other.base < r.base + new_size,
+                    "growing region '", name, "' would overlap '",
+                    other.name, "'");
+        }
+        r.size = new_size;
+        return;
+    }
+    fatal("no region named '", name, "'");
+}
+
+const VmRegion *
+AddressSpace::findRegion(Addr vaddr) const
+{
+    for (const auto &r : regions_) {
+        if (r.contains(vaddr))
+            return &r;
+    }
+    return nullptr;
+}
+
+const VmRegion *
+AddressSpace::findRegionByName(const std::string &name) const
+{
+    for (const auto &r : regions_) {
+        if (r.name == name)
+            return &r;
+    }
+    return nullptr;
+}
+
+bool
+AddressSpace::isPagePresent(Addr vaddr) const
+{
+    return pages_.count(pageFrame(vaddr)) > 0;
+}
+
+Addr
+AddressSpace::frameOf(Addr vaddr) const
+{
+    auto it = pages_.find(pageFrame(vaddr));
+    panicIf(it == pages_.end(), "page not present: 0x", std::hex, vaddr);
+    return it->second;
+}
+
+void
+AddressSpace::installFrame(Addr vaddr, Addr pfn)
+{
+    const Addr vpn = pageFrame(vaddr);
+    panicIf(pages_.count(vpn) > 0,
+            "page already present: 0x", std::hex, vaddr);
+    pages_[vpn] = pfn;
+}
+
+Addr
+AddressSpace::removeFrame(Addr vaddr)
+{
+    auto it = pages_.find(pageFrame(vaddr));
+    panicIf(it == pages_.end(),
+            "removing absent page: 0x", std::hex, vaddr);
+    const Addr pfn = it->second;
+    pages_.erase(it);
+    return pfn;
+}
+
+void
+AddressSpace::addSuperpage(const ShadowSuperpage &sp)
+{
+    const Addr size = sp.size();
+    fatalIf(sp.vbase & (size - 1),
+            "superpage virtual base not aligned to its size");
+    fatalIf(sp.shadowBase & (size - 1),
+            "superpage shadow base not aligned to its size");
+    auto [it, inserted] = superpages_.emplace(sp.vbase, sp);
+    (void)it;
+    panicIf(!inserted, "duplicate superpage at 0x", std::hex, sp.vbase);
+}
+
+void
+AddressSpace::removeSuperpage(Addr vbase)
+{
+    panicIf(superpages_.erase(vbase) == 0,
+            "no superpage at 0x", std::hex, vbase);
+}
+
+const ShadowSuperpage *
+AddressSpace::findSuperpage(Addr vaddr) const
+{
+    // The first superpage with vbase <= vaddr is the only candidate,
+    // since superpages never overlap.
+    auto it = superpages_.upper_bound(vaddr);
+    if (it == superpages_.begin())
+        return nullptr;
+    --it;
+    return it->second.covers(vaddr) ? &it->second : nullptr;
+}
+
+Addr
+AddressSpace::l1EntryAddr(Addr vaddr) const
+{
+    const Addr l1_index = (vaddr >> 22) & 0x3ff;
+    return ptPoolBase_ + l1_index * 4;
+}
+
+Addr
+AddressSpace::l2EntryAddr(Addr vaddr)
+{
+    const Addr l1_index = (vaddr >> 22) & 0x3ff;
+    const Addr l2_index = (vaddr >> basePageShift) & 0x3ff;
+    auto it = l2Nodes_.find(l1_index);
+    if (it == l2Nodes_.end()) {
+        const Addr node = ptPoolCursor_;
+        ptPoolCursor_ += basePageSize;
+        it = l2Nodes_.emplace(l1_index, node).first;
+    }
+    return it->second + l2_index * 4;
+}
+
+} // namespace mtlbsim

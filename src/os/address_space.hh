@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Per-process virtual address space.
+ *
+ * Tracks VM regions (text, data, heap, ...), the base pages that have
+ * been materialised with real frames, and the shadow-backed
+ * superpages created by remap(). Also models the process's two-level
+ * page table as kernel data with concrete node addresses, so that
+ * page-table walks on HPT misses generate realistic memory traffic.
+ */
+
+#ifndef MTLBSIM_OS_ADDRESS_SPACE_HH
+#define MTLBSIM_OS_ADDRESS_SPACE_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+#include "os/hpt.hh"
+#include "tlb/tlb.hh"
+
+namespace mtlbsim
+{
+
+/** A contiguous region of user virtual address space. */
+struct VmRegion
+{
+    std::string name;
+    Addr base = 0;
+    Addr size = 0;
+    PageProtection prot;
+
+    bool
+    contains(Addr a) const
+    {
+        return a >= base && a - base < size;
+    }
+
+    Addr end() const { return base + size; }
+};
+
+/** A shadow-backed superpage created by remap() (§2.4). */
+struct ShadowSuperpage
+{
+    Addr vbase = 0;         ///< virtual base, aligned to size
+    Addr shadowBase = 0;    ///< shadow physical base, aligned to size
+    unsigned sizeClass = 0;
+
+    Addr size() const { return pageSizeForClass(sizeClass); }
+    Addr numBasePages() const { return size() >> basePageShift; }
+
+    bool
+    covers(Addr vaddr) const
+    {
+        return vaddr >= vbase && vaddr - vbase < size();
+    }
+};
+
+/**
+ * One process's virtual address space.
+ */
+class AddressSpace
+{
+  public:
+    /**
+     * @param pt_pool_base kernel physical base of this process's
+     *                     page-table node pool
+     */
+    explicit AddressSpace(Addr pt_pool_base);
+
+    /** Declare a region. Regions must not overlap. */
+    void addRegion(const std::string &name, Addr base, Addr size,
+                   PageProtection prot);
+
+    /** Grow a region in place (used by sbrk on the heap). */
+    void growRegion(const std::string &name, Addr new_size);
+
+    /** The region covering @p vaddr, or null. */
+    const VmRegion *findRegion(Addr vaddr) const;
+
+    const VmRegion *findRegionByName(const std::string &name) const;
+
+    /** Is this base page materialised with a real frame? */
+    bool isPagePresent(Addr vaddr) const;
+
+    /** PFN backing the base page at @p vaddr (page must be present). */
+    Addr frameOf(Addr vaddr) const;
+
+    /** Record that @p vaddr's base page is backed by frame @p pfn. */
+    void installFrame(Addr vaddr, Addr pfn);
+
+    /** Remove the frame backing @p vaddr's page; returns the PFN. */
+    Addr removeFrame(Addr vaddr);
+
+    /** Record a shadow-backed superpage. */
+    void addSuperpage(const ShadowSuperpage &sp);
+
+    /** Remove a superpage record (e.g. on region teardown). */
+    void removeSuperpage(Addr vbase);
+
+    /** The shadow superpage covering @p vaddr, if any. */
+    const ShadowSuperpage *findSuperpage(Addr vaddr) const;
+
+    /** All superpages, ordered by virtual base. */
+    const std::map<Addr, ShadowSuperpage> &superpages() const
+    {
+        return superpages_;
+    }
+
+    /** Number of materialised base pages. */
+    std::size_t numPresentPages() const { return pages_.size(); }
+
+    /**
+     * @name Page-table walk address modelling
+     * Two-level radix table over a 32-bit space: the L1 node holds
+     * 1024 4-byte entries indexed by vpn[19:10]; each L2 node holds
+     * 1024 entries indexed by vpn[9:0]. Both reads of a walk hit
+     * these addresses in kernel memory.
+     * @{
+     */
+    Addr l1EntryAddr(Addr vaddr) const;
+    Addr l2EntryAddr(Addr vaddr);
+    /** @} */
+
+  private:
+    std::vector<VmRegion> regions_;
+    std::unordered_map<Addr, Addr> pages_;  ///< vpn -> pfn
+    std::map<Addr, ShadowSuperpage> superpages_;
+
+    Addr ptPoolBase_;
+    Addr ptPoolCursor_;
+    std::unordered_map<Addr, Addr> l2Nodes_; ///< l1 index -> node addr
+};
+
+} // namespace mtlbsim
+
+#endif // MTLBSIM_OS_ADDRESS_SPACE_HH

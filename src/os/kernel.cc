@@ -1,0 +1,707 @@
+#include "os/kernel.hh"
+
+#include "base/debug.hh"
+
+#include "base/intmath.hh"
+#include "mmc/mmc.hh"
+
+namespace mtlbsim
+{
+
+namespace
+{
+debug::Flag &
+traceFlag()
+{
+    static debug::Flag flag("Kernel");
+    return flag;
+}
+}
+
+Kernel::Kernel(const KernelConfig &config, const PhysMap &physmap,
+               Tlb &tlb, MicroItlb &uitlb, Cache &cache,
+               MemorySystem &memsys, stats::StatGroup &parent)
+    : config_(config), physMap_(physmap), tlb_(tlb), uitlb_(uitlb),
+      cache_(cache), memsys_(memsys),
+      frames_(KernelLayout::firstUserPfn,
+              physmap.numRealPages() - KernelLayout::firstUserPfn),
+      hpt_(KernelLayout::hptBase, config.hptBuckets),
+      space_(std::make_unique<AddressSpace>(KernelLayout::ptPoolBase)),
+      sbrkPrealloc_(config.sbrkPreallocBytes),
+      statGroup_("kernel"),
+      tlbMisses_(statGroup_.addScalar("tlb_misses",
+                                      "TLB miss traps handled")),
+      tlbMissCycles_(statGroup_.addScalar("tlb_miss_cycles",
+                                          "CPU cycles in the TLB miss "
+                                          "handler (Fig 3 metric)")),
+      vmFaults_(statGroup_.addScalar("vm_faults",
+                                     "demand-zero page faults")),
+      vmFaultCycles_(statGroup_.addScalar("vm_fault_cycles",
+                                          "CPU cycles in the VM fault "
+                                          "path (excluded from TLB "
+                                          "miss time)")),
+      zeroFilledPages_(statGroup_.addScalar("zero_filled_pages",
+                                            "frames zero-filled")),
+      remapCalls_(statGroup_.addScalar("remap_calls", "remap() calls")),
+      remapSuperpages_(statGroup_.addScalar("remap_superpages",
+                                            "shadow superpages created")),
+      remapPages_(statGroup_.addScalar("remap_pages",
+                                       "base pages remapped")),
+      remapCycles_(statGroup_.addScalar("remap_cycles",
+                                        "total cycles inside remap() "
+                                        "(§3.3)")),
+      remapFlushCycles_(statGroup_.addScalar("remap_flush_cycles",
+                                             "remap() cycles spent "
+                                             "flushing the cache (§3.3)")),
+      sbrkCalls_(statGroup_.addScalar("sbrk_calls", "sbrk() calls")),
+      shadowFaults_(statGroup_.addScalar("shadow_faults",
+                                         "MTLB precise faults handled")),
+      pagesSwappedOut_(statGroup_.addScalar("pages_swapped_out",
+                                            "base pages written to disk")),
+      pagesSwappedIn_(statGroup_.addScalar("pages_swapped_in",
+                                           "base pages read from disk")),
+      recoloredPages_(statGroup_.addScalar("recolored_pages",
+                                           "pages recolored via shadow "
+                                           "remapping (§6)")),
+      allShadowPages_(statGroup_.addScalar("all_shadow_pages",
+                                           "pages mapped through "
+                                           "single shadow pages (§4)"))
+{
+    parent.addChild(&statGroup_);
+
+    fatalIf(physmap.numRealPages() <= KernelLayout::firstUserPfn,
+            "installed memory too small for the kernel layout");
+
+    if (physmap.shadowRange().size > 0) {
+        shadowAlloc_ = std::make_unique<BucketShadowAllocator>(
+            physmap.shadowRange(),
+            BucketShadowAllocator::defaultPartition());
+    }
+}
+
+Cycles
+Kernel::kernelAccess(Addr paddr, bool write, Cycles now)
+{
+    // Kernel structures are identity mapped through the pinned block
+    // TLB entry (§3.2), so kernel loads/stores pay cache/memory time
+    // but never TLB-miss time.
+    return cache_.access(paddr, paddr, write, now).latency;
+}
+
+Cycles
+Kernel::zeroFill(Addr pfn, Cycles now)
+{
+    ++zeroFilledPages_;
+    // Fresh frames are zeroed with non-allocating block stores that
+    // stream straight to DRAM over the bus: zeroing a 4 KB page (or
+    // a freshly granted multi-megabyte sbrk chunk) must not displace
+    // the contents of the 512 KB cache.
+    Cycles cycles = 0;
+    const Addr frame_base = pfn << basePageShift;
+    const unsigned lines = basePageSize >> cacheLineShift;
+    for (unsigned i = 0; i < lines; ++i) {
+        cycles += config_.zeroFillPerLineCycles;
+        cycles += memsys_.writeBack(
+            frame_base + (static_cast<Addr>(i) << cacheLineShift),
+            now + cycles);
+    }
+    return cycles;
+}
+
+Cycles
+Kernel::materialisePage(Addr vaddr, Cycles now)
+{
+    const Addr pfn = frames_.allocate();
+    space_->installFrame(vaddr, pfn);
+    Cycles cycles = zeroFill(pfn, now);
+    // Install the PTE in the two-level page table.
+    cycles += kernelAccess(space_->l2EntryAddr(vaddr), true,
+                           now + cycles);
+
+    // §4 all-shadow operation: the CPU never sees real addresses;
+    // every fresh page is published through a single shadow page.
+    // Pages materialised inside remap() skip this: the superpage
+    // being built will map them in a moment.
+    if (config_.allShadowMode && shadowAlloc_ && !inRemap_ &&
+        memsys_.mmc().hasMtlb() &&
+        space_->findSuperpage(vaddr) == nullptr) {
+        if (auto page = pagePool().allocate()) {
+            // The page was zeroed through non-allocating stores and
+            // was never mapped, so there is nothing to flush.
+            cycles += mapPageToShadow(pageBase(vaddr), *page,
+                                      now + cycles, true);
+            ++allShadowPages_;
+        } else {
+            warn("shadow space exhausted; page stays real-mapped");
+        }
+    }
+    return cycles;
+}
+
+ShadowPagePool &
+Kernel::pagePool()
+{
+    panicIf(!shadowAlloc_, "no shadow space for a page pool");
+    if (!pagePool_) {
+        const unsigned colors = static_cast<unsigned>(
+            cache_.config().sizeBytes >> basePageShift);
+        pagePool_ =
+            std::make_unique<ShadowPagePool>(*shadowAlloc_, colors);
+    }
+    return *pagePool_;
+}
+
+Cycles
+Kernel::mapPageToShadow(Addr vbase, Addr shadow_page, Cycles now,
+                        bool fresh)
+{
+    const Addr pfn = space_->frameOf(vbase);
+    const Addr spi = physMap_.shadowPageIndex(shadow_page);
+
+    Cycles cycles = memsys_.controlOp(
+        now, [&](Mmc &mmc) { return mmc.setShadowMapping(spi, pfn); });
+
+    // The page's cached lines carry real-address tags (and, in a
+    // physically indexed cache, real-address indices); flush before
+    // the mapping switches. Freshly zeroed pages were never mapped
+    // and have nothing cached.
+    if (!fresh) {
+        cycles += cache_.flushPage(vbase, pfn << basePageShift,
+                                   now + cycles);
+    }
+
+    cycles += chargeHptTouches(hpt_.remove(vbase, 0), true,
+                               now + cycles);
+    const VmRegion *region = space_->findRegion(vbase);
+    panicIf(region == nullptr, "shadow-mapping an unmapped page");
+    cycles += chargeHptTouches(
+        hpt_.insert({vbase, shadow_page, 0, region->prot}), true,
+        now + cycles);
+
+    tlb_.purgeRange(vbase, basePageSize);
+    space_->addSuperpage({vbase, shadow_page, 0});
+    return cycles;
+}
+
+Cycles
+Kernel::demoteSingleShadowPage(Addr vaddr, Cycles now)
+{
+    const ShadowSuperpage *sp = space_->findSuperpage(vaddr);
+    panicIf(sp == nullptr || sp->sizeClass != 0,
+            "not a single-page shadow mapping");
+    const Addr vbase = sp->vbase;
+    const Addr shadow_page = sp->shadowBase;
+    const Addr spi = physMap_.shadowPageIndex(shadow_page);
+    const VmRegion *region = space_->findRegion(vbase);
+
+    // Flush shadow-tagged lines, retire the mapping, and republish
+    // the page at its real address.
+    Cycles cycles = cache_.flushPage(vbase, shadow_page, now);
+    cycles += memsys_.controlOp(
+        now + cycles,
+        [&](Mmc &mmc) { return mmc.clearShadowMapping(spi); });
+    cycles += chargeHptTouches(hpt_.remove(vbase, 0), true,
+                               now + cycles);
+    cycles += chargeHptTouches(
+        hpt_.insert({vbase, space_->frameOf(vbase) << basePageShift,
+                     0, region->prot}),
+        true, now + cycles);
+    tlb_.purgeRange(vbase, basePageSize);
+    space_->removeSuperpage(vbase);
+    pagePool().free(shadow_page);
+    return cycles;
+}
+
+Cycles
+Kernel::recolorPage(Addr vaddr, unsigned color, Cycles now)
+{
+    fatalIf(!shadowAlloc_ || !memsys_.mmc().hasMtlb(),
+            "recoloring requires shadow memory and an MTLB");
+    fatalIf(!space_->isPagePresent(vaddr),
+            "recoloring an absent page");
+
+    Cycles cycles = config_.syscallOverheadCycles;
+    const Addr vbase = pageBase(vaddr);
+
+    // Already shadow-mapped? Retire the old single-page mapping
+    // first (recoloring a page inside a genuine superpage is not
+    // supported — the superpage's layout is fixed).
+    if (const ShadowSuperpage *sp = space_->findSuperpage(vbase)) {
+        fatalIf(sp->sizeClass != 0,
+                "cannot recolor inside a multi-page superpage");
+        cycles += demoteSingleShadowPage(vbase, now + cycles);
+    }
+
+    auto page = pagePool().allocateColored(color);
+    fatalIf(!page, "shadow space exhausted; cannot recolor");
+    cycles += mapPageToShadow(vbase, *page, now + cycles);
+    ++recoloredPages_;
+    return cycles;
+}
+
+unsigned
+Kernel::colorOf(Addr vaddr)
+{
+    const unsigned colors = static_cast<unsigned>(
+        cache_.config().sizeBytes >> basePageShift);
+    Addr paddr;
+    if (const ShadowSuperpage *sp = space_->findSuperpage(vaddr)) {
+        paddr = sp->shadowBase | (vaddr - sp->vbase);
+    } else {
+        paddr = (space_->frameOf(vaddr) << basePageShift) |
+                pageOffset(vaddr);
+    }
+    return static_cast<unsigned>(paddr >> basePageShift) &
+           (colors - 1);
+}
+
+Cycles
+Kernel::chargeHptTouches(const std::vector<Addr> &addrs, bool write,
+                         Cycles now)
+{
+    Cycles cycles = 0;
+    for (const Addr a : addrs) {
+        cycles += config_.perProbeCycles;
+        cycles += kernelAccess(a, write, now + cycles);
+    }
+    return cycles;
+}
+
+VmMapping
+Kernel::mappingFor(Addr vaddr) const
+{
+    const VmRegion *region = space_->findRegion(vaddr);
+    panicIf(region == nullptr,
+            "mappingFor on unmapped address 0x", std::hex, vaddr);
+
+    if (const ShadowSuperpage *sp = space_->findSuperpage(vaddr)) {
+        return {sp->vbase, sp->shadowBase, sp->sizeClass, region->prot};
+    }
+    return {pageBase(vaddr), space_->frameOf(vaddr) << basePageShift, 0,
+            region->prot};
+}
+
+Cycles
+Kernel::handleTlbMiss(Addr vaddr, AccessType type, Cycles now)
+{
+    (void)type;
+    ++tlbMisses_;
+    Cycles cycles = config_.trapEntryCycles;
+
+    // Probe the hashed page table; every entry examined is a real
+    // cached load.
+    Hpt::LookupResult lookup = hpt_.lookup(vaddr);
+    cycles += chargeHptTouches(lookup.probeAddrs, false, now + cycles);
+
+    // Cycles spent in the VM fault path (page-table walk + demand
+    // zero). These are kernel time but *not* TLB-miss-handling time
+    // in the Figure 3 sense — a conventional page fault costs the
+    // same on any system.
+    Cycles fault_cycles = 0;
+
+    if (!lookup.mapping) {
+        ++vmFaults_;
+        fault_cycles += config_.vmFaultOverheadCycles;
+        fault_cycles += kernelAccess(space_->l1EntryAddr(vaddr), false,
+                                     now + cycles + fault_cycles);
+        fault_cycles += kernelAccess(space_->l2EntryAddr(vaddr), false,
+                                     now + cycles + fault_cycles);
+
+        const VmRegion *region = space_->findRegion(vaddr);
+        fatalIf(region == nullptr,
+                "segmentation fault: access to 0x", std::hex, vaddr);
+
+        panicIf(space_->findSuperpage(vaddr) != nullptr,
+                "superpage lost its HPT entry");
+
+        if (!space_->isPagePresent(vaddr))
+            fault_cycles += materialisePage(vaddr,
+                                            now + cycles + fault_cycles);
+
+        lookup.mapping = mappingFor(vaddr);
+        fault_cycles += chargeHptTouches(hpt_.insert(*lookup.mapping),
+                                         true,
+                                         now + cycles + fault_cycles);
+        vmFaultCycles_ += static_cast<double>(fault_cycles);
+    }
+
+    cycles += config_.tlbInsertCycles + config_.trapExitCycles;
+
+    // Online promotion (§5): charge this miss against the candidate
+    // chunk; when the accumulated handler time would have paid for a
+    // promotion, remap the chunk now. The promotion changes the
+    // mapping, so it runs before the TLB insert.
+    Cycles promo_cycles = 0;
+    if (config_.onlinePromotion && lookup.mapping->sizeClass == 0) {
+        promo_cycles = notePromotionCandidate(vaddr, cycles,
+                                              now + cycles +
+                                                  fault_cycles);
+        if (promo_cycles > 0)
+            lookup.mapping = mappingFor(vaddr);
+    }
+
+    const VmMapping &m = *lookup.mapping;
+    tlb_.insert(m.vbase, m.pbase, m.sizeClass, m.prot);
+
+    tlbMissCycles_ += static_cast<double>(cycles);
+    return cycles + fault_cycles + promo_cycles;
+}
+
+Cycles
+Kernel::notePromotionCandidate(Addr vaddr, Cycles handler_cycles,
+                               Cycles now)
+{
+    if (!shadowAlloc_ || !memsys_.mmc().hasMtlb())
+        return 0;
+
+    const Addr chunk_bytes =
+        pageSizeForClass(config_.promotionChunkClass);
+    const Addr chunk = vaddr & ~(chunk_bytes - 1);
+
+    // Only whole chunks inside one region are candidates.
+    const VmRegion *region = space_->findRegion(chunk);
+    if (region == nullptr || region->end() < chunk + chunk_bytes)
+        return 0;
+
+    Cycles &credit = promotionCredit_[chunk];
+    credit += handler_cycles;
+    if (credit < config_.promotionThresholdCycles)
+        return 0;
+
+    promotionCredit_.erase(chunk);
+    debugPrintf(traceFlag(), "promoting chunk 0x", std::hex, chunk);
+    const Cycles cost = remap(chunk, chunk_bytes, now, true);
+    remapCalls_ += -1;  // kernel-internal, not a user remap()
+    return cost;
+}
+
+namespace
+{
+
+/** Largest superpage class that is aligned at @p cursor and fits
+ *  before @p end; 0 when not even a 16 KB superpage fits. */
+unsigned
+maximalClassAt(Addr cursor, Addr end)
+{
+    for (unsigned c = maxShadowSizeClass; c >= minShadowSizeClass; --c) {
+        const Addr size = pageSizeForClass(c);
+        if ((cursor & (size - 1)) == 0 && cursor + size <= end)
+            return c;
+    }
+    return 0;
+}
+
+} // namespace
+
+Cycles
+Kernel::remap(Addr vbase, Addr bytes, Cycles now, bool internal)
+{
+    ++remapCalls_;
+    Cycles cycles = config_.syscallOverheadCycles;
+
+    if (!config_.superpagesEnabled || !shadowAlloc_ ||
+        !memsys_.mmc().hasMtlb() ||
+        (!internal && !config_.honorExplicitRemap)) {
+        // Advisory call on a system without shadow support.
+        remapCycles_ += static_cast<double>(cycles);
+        return cycles;
+    }
+
+    const Addr end = vbase + bytes;
+    // Skip any sub-16 KB head; it stays base-paged (§2.4).
+    Addr cursor = roundUp(vbase, pageSizeForClass(minShadowSizeClass));
+
+    const AddrRange &shadow = physMap_.shadowRange();
+
+    while (true) {
+        // Skip genuine superpages (idempotent remap). Single-page
+        // shadow mappings from all-shadow mode or recoloring are
+        // demoted page by page below and re-covered by the superpage
+        // being built.
+        if (const ShadowSuperpage *sp = space_->findSuperpage(cursor)) {
+            if (sp->sizeClass != 0) {
+                cursor = sp->vbase + sp->size();
+                continue;
+            }
+        }
+
+        unsigned c = maximalClassAt(cursor, end);
+        if (c == 0)
+            break;
+
+        // Allocate a shadow region, falling back to smaller classes
+        // when the preferred bucket is exhausted.
+        std::optional<Addr> shadow_base;
+        while (c >= minShadowSizeClass) {
+            shadow_base = shadowAlloc_->allocate(c);
+            if (shadow_base)
+                break;
+            --c;
+        }
+        if (!shadow_base) {
+            warn("shadow address space exhausted; leaving 0x", std::hex,
+                 cursor, "..0x", end, " base-paged");
+            break;
+        }
+
+        cycles += config_.remapPerSuperpageCycles;
+        const Addr sp_size = pageSizeForClass(c);
+        const Addr n_pages = sp_size >> basePageShift;
+        const Addr spi0 = physMap_.shadowPageIndex(*shadow_base);
+        (void)shadow;
+
+        const VmRegion *region = space_->findRegion(cursor);
+        fatalIf(region == nullptr,
+                "remap() of unmapped range at 0x", std::hex, cursor);
+        fatalIf(region->end() < cursor + sp_size,
+                "remap() range crosses a region boundary");
+
+        const VmMapping sp_mapping{cursor, *shadow_base, c,
+                                   region->prot};
+
+        for (Addr i = 0; i < n_pages; ++i) {
+            const Addr va = cursor + (i << basePageShift);
+            cycles += config_.remapPerPageCycles;
+
+            // Retire any single-page shadow mapping first.
+            if (const ShadowSuperpage *single =
+                    space_->findSuperpage(va);
+                single && single->sizeClass == 0) {
+                cycles += demoteSingleShadowPage(va, now + cycles);
+            }
+
+            // Ensure the base page is materialised (the paper's runs
+            // remapped regions whose pages were already zero-filled;
+            // fresh sbrk chunks are materialised here instead).
+            const bool fresh = !space_->isPagePresent(va);
+            if (fresh) {
+                inRemap_ = true;
+                cycles += materialisePage(va, now + cycles);
+                inRemap_ = false;
+            }
+            const Addr pfn = space_->frameOf(va);
+
+            // Install the shadow->real mapping via an uncached write
+            // to the MMC control registers (§2.4).
+            cycles += memsys_.controlOp(
+                now + cycles,
+                [&](Mmc &mmc) { return mmc.setShadowMapping(spi0 + i,
+                                                            pfn); });
+
+            // Flush every line of the page from the cache: its tags
+            // are about to change from real to shadow (§2.3). Pages
+            // materialised within this very call were never mapped
+            // at any address, so there is nothing to flush for them.
+            if (!fresh) {
+                const Cycles flush = cache_.flushPage(
+                    va, pfn << basePageShift, now + cycles);
+                cycles += flush;
+                remapFlushCycles_ += static_cast<double>(flush);
+            }
+
+            // Retire the old base-page HPT entry (if any) and write
+            // this page's replica of the superpage mapping — the
+            // PA-RISC HPT hashes at base-page grain, so a superpage
+            // is entered once per base page it covers.
+            cycles += chargeHptTouches(hpt_.remove(pageBase(va), 0),
+                                       true, now + cycles);
+            cycles += chargeHptTouches(
+                hpt_.insertBasePageReplica(sp_mapping, va), true,
+                now + cycles);
+
+            cycles += config_.shootdownPerPageCycles;
+            ++remapPages_;
+        }
+
+        // Purge stale TLB mappings for the range and publish the
+        // superpage mapping.
+        tlb_.purgeRange(cursor, sp_size);
+        uitlb_.invalidate();
+        debugPrintf(traceFlag(), "remap: superpage v=0x", std::hex,
+                    cursor, " -> shadow 0x", *shadow_base, std::dec,
+                    " class ", c);
+        space_->addSuperpage({cursor, *shadow_base, c});
+        ++remapSuperpages_;
+
+        cursor += sp_size;
+    }
+
+    remapCycles_ += static_cast<double>(cycles);
+    return cycles;
+}
+
+void
+Kernel::initHeap(Addr base, Addr max_bytes)
+{
+    fatalIf(heapBase_ != 0, "heap already initialised");
+    fatalIf(base & (pageSizeForClass(minShadowSizeClass) - 1),
+            "heap base should be 16 KB aligned");
+    space_->addRegion("heap", base, max_bytes, PageProtection{});
+    heapBase_ = base;
+    brk_ = base;
+    remapFrontier_ = base;
+}
+
+SbrkResult
+Kernel::sbrk(Addr bytes, Cycles now)
+{
+    ++sbrkCalls_;
+    fatalIf(heapBase_ == 0,
+            "sbrk() before setupHeap(): add a 'heap' region and call "
+            "initHeap()");
+
+    SbrkResult result;
+    result.oldBreak = brk_;
+    result.cycles = 20;  // libc-level bump allocation
+
+    if (bytes == 0)
+        return result;
+
+    const Addr new_brk = brk_ + bytes;
+    const VmRegion *heap = space_->findRegionByName("heap");
+    fatalIf(new_brk > heap->end(), "heap reservation exhausted");
+
+    if (new_brk > grantedFrontier()) {
+        // Grow the granted range by at least the preallocation chunk
+        // so subsequent small requests are satisfied without another
+        // kernel entry (§2.3).
+        result.cycles += config_.syscallOverheadCycles;
+        const Addr min_superpage = pageSizeForClass(minShadowSizeClass);
+        Addr chunk = roundUp(new_brk - grantedFrontier(), min_superpage);
+        if (chunk < sbrkPrealloc_)
+            chunk = sbrkPrealloc_;
+        if (grantedFrontier() + chunk > heap->end())
+            chunk = heap->end() - grantedFrontier();
+
+        if (config_.superpagesEnabled && shadowAlloc_ &&
+            memsys_.mmc().hasMtlb()) {
+            result.cycles += remap(grantedFrontier(), chunk,
+                                   now + result.cycles);
+            remapCalls_ += -1;  // internal call, not a user remap()
+        }
+        remapFrontier_ = grantedFrontier() + chunk;
+    }
+
+    brk_ = new_brk;
+    return result;
+}
+
+Cycles
+Kernel::handleShadowPageFault(Addr vaddr, Cycles now)
+{
+    (void)now;
+    ++shadowFaults_;
+    ++pagesSwappedIn_;
+
+    const ShadowSuperpage *sp = space_->findSuperpage(vaddr);
+    panicIf(sp == nullptr,
+            "MTLB fault outside any shadow superpage: 0x", std::hex,
+            vaddr);
+
+    Cycles cycles = config_.trapEntryCycles +
+                    config_.vmFaultOverheadCycles;
+
+    // Read the page back from disk into a fresh frame.
+    const Addr pfn = frames_.allocate();
+    space_->installFrame(vaddr, pfn);
+    cycles += config_.diskReadCycles;
+
+    // Reinstall the shadow mapping; the CPU TLB superpage entry was
+    // never disturbed (§2.1), so the faulting access simply retries.
+    const Addr spi = physMap_.shadowPageIndex(sp->shadowBase) +
+                     ((pageBase(vaddr) - sp->vbase) >> basePageShift);
+    cycles += memsys_.controlOp(
+        now + cycles,
+        [&](Mmc &mmc) { return mmc.setShadowMapping(spi, pfn); });
+
+    cycles += config_.trapExitCycles;
+    return cycles;
+}
+
+SwapOutResult
+Kernel::swapOutSuperpagePagewise(Addr vbase, Cycles now)
+{
+    const ShadowSuperpage *sp = space_->findSuperpage(vbase);
+    fatalIf(sp == nullptr, "no shadow superpage at 0x", std::hex, vbase);
+
+    SwapOutResult result;
+    result.cycles = config_.syscallOverheadCycles;
+
+    const Addr spi0 = physMap_.shadowPageIndex(sp->shadowBase);
+    for (Addr i = 0; i < sp->numBasePages(); ++i) {
+        const Addr va = sp->vbase + (i << basePageShift);
+        if (!space_->isPagePresent(va))
+            continue;  // already swapped out
+
+        // Read the per-base-page dirty bit the MTLB maintains (§2.5).
+        ShadowPte pte{};
+        result.cycles += memsys_.controlOp(
+            now + result.cycles, [&](Mmc &mmc) {
+                pte = mmc.readShadowEntry(spi0 + i);
+                return Cycles{8};
+            });
+
+        // Cleaning flushes all the page's lines from the cache; tags
+        // are shadow addresses after remap.
+        result.cycles += cache_.flushPage(
+            va, sp->shadowBase + (i << basePageShift),
+            now + result.cycles);
+
+        if (pte.modified) {
+            // Only dirty base pages travel to disk — the payoff of
+            // per-base-page dirty bits (§2.5).
+            result.cycles += config_.diskQueueCycles;
+            ++result.pagesWritten;
+            ++pagesSwappedOut_;
+        } else {
+            ++result.pagesClean;
+        }
+
+        result.cycles += memsys_.controlOp(
+            now + result.cycles, [&](Mmc &mmc) {
+                return mmc.invalidateShadowMapping(spi0 + i);
+            });
+
+        frames_.free(space_->removeFrame(va));
+    }
+    // The CPU TLB superpage entry and the HPT mapping stay valid:
+    // the MMC faults precisely on any access to a swapped base page.
+    return result;
+}
+
+SwapOutResult
+Kernel::swapOutSuperpageWhole(Addr vbase, Cycles now)
+{
+    const ShadowSuperpage *sp = space_->findSuperpage(vbase);
+    fatalIf(sp == nullptr, "no shadow superpage at 0x", std::hex, vbase);
+
+    SwapOutResult result;
+    result.cycles = config_.syscallOverheadCycles;
+
+    const Addr spi0 = physMap_.shadowPageIndex(sp->shadowBase);
+    for (Addr i = 0; i < sp->numBasePages(); ++i) {
+        const Addr va = sp->vbase + (i << basePageShift);
+        if (!space_->isPagePresent(va))
+            continue;
+
+        result.cycles += cache_.flushPage(
+            va, sp->shadowBase + (i << basePageShift),
+            now + result.cycles);
+
+        // Conventional superpages have a single dirty bit for the
+        // whole superpage, so every base page must be written (§2.5).
+        result.cycles += config_.diskQueueCycles;
+        ++result.pagesWritten;
+        ++pagesSwappedOut_;
+
+        result.cycles += memsys_.controlOp(
+            now + result.cycles, [&](Mmc &mmc) {
+                return mmc.invalidateShadowMapping(spi0 + i);
+            });
+
+        frames_.free(space_->removeFrame(va));
+    }
+    return result;
+}
+
+} // namespace mtlbsim

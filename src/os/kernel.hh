@@ -1,0 +1,367 @@
+/**
+ * @file
+ * The mini-kernel VM model.
+ *
+ * Plays the role of the paper's BSD-based microkernel (§3.2): it owns
+ * the physical frame allocator, the process address space, the hashed
+ * page table the TLB-miss trap probes, and the shadow-region
+ * allocator; and it implements the three OS-visible mechanisms the
+ * paper adds:
+ *
+ *  - remap(): convert a virtual range to shadow-backed superpages
+ *    (§2.3/§2.4) — allocate shadow ranges, install MMC mappings via
+ *    uncached control writes, flush the affected cache lines, shoot
+ *    down stale TLB/HPT entries, and insert superpage mappings.
+ *
+ *  - a superpage-aware sbrk() that preallocates large remapped
+ *    chunks and satisfies small allocations from them (§2.3).
+ *
+ *  - per-base-page swap-out of shadow superpages using the MTLB's
+ *    per-base-page dirty bits (§2.5), with a conventional
+ *    whole-superpage variant for comparison.
+ *
+ * Every method returns the CPU cycles it consumed; memory accesses
+ * made by kernel code go through the cache so that page tables
+ * compete with user data for cache space (§3.5).
+ */
+
+#ifndef MTLBSIM_OS_KERNEL_HH
+#define MTLBSIM_OS_KERNEL_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "cache/cache.hh"
+#include "mmc/memsys.hh"
+#include "os/address_space.hh"
+#include "os/frame_alloc.hh"
+#include "os/hpt.hh"
+#include "os/shadow_alloc.hh"
+#include "os/shadow_page_pool.hh"
+#include "stats/stats.hh"
+#include "tlb/tlb.hh"
+
+namespace mtlbsim
+{
+
+/** Kernel cost-model and policy configuration. */
+struct KernelConfig
+{
+    /** @name TLB-miss trap handler (§3.2) */
+    /** @{ */
+    Cycles trapEntryCycles = 12;    ///< pipeline drain + state save
+    Cycles trapExitCycles = 8;      ///< state restore + return
+    Cycles perProbeCycles = 4;      ///< instructions per HPT probe
+    Cycles tlbInsertCycles = 8;     ///< format + insert instruction
+    /** @} */
+
+    /** @name VM fault path (demand-zero) */
+    /** @{ */
+    Cycles vmFaultOverheadCycles = 120;
+    Cycles zeroFillPerLineCycles = 2;
+    /** @} */
+
+    /** @name remap() and sbrk() (§2.3, §2.4, §3.3) */
+    /** @{ */
+    Cycles syscallOverheadCycles = 150;
+    Cycles remapPerSuperpageCycles = 60;
+    Cycles remapPerPageCycles = 12;
+    Cycles shootdownPerPageCycles = 2;
+    /** @} */
+
+    /** @name Paging (§2.5) */
+    /** @{ */
+    /** CPU cost to queue one page's disk write (I/O is async). */
+    Cycles diskQueueCycles = 400;
+    /** Synchronous disk read latency for a faulted base page. */
+    Cycles diskReadCycles = 1'200'000; ///< ~5 ms at 240 MHz
+    /** @} */
+
+    unsigned hptBuckets = 16384;    ///< 16 K entries (§3.2)
+
+    /** Create shadow superpages on remap()/sbrk(). When false the
+     *  calls succeed but leave everything base-paged (the paper's
+     *  no-MTLB baseline runs). */
+    bool superpagesEnabled = true;
+
+    /** All-shadow operation (§4): every materialised page is mapped
+     *  through a single shadow page, so the machine never exposes
+     *  real physical addresses to the CPU — the mode the paper
+     *  proposes for systems whose entire physical address space is
+     *  populated with DRAM. remap() promotes such pages to proper
+     *  superpages as usual. */
+    bool allShadowMode = false;
+
+    /** @name Online superpage promotion (§5, Romer-style) */
+    /** @{ */
+    /** Promote regions to shadow superpages automatically, without
+     *  any remap() instrumentation in the program: the kernel
+     *  accumulates TLB-miss handler time per candidate chunk and
+     *  promotes a chunk once that time would have paid for the
+     *  promotion — the competitive policy of Romer et al., with the
+     *  threshold reflecting remapping's much lower cost than
+     *  copying (the paper's §5 point). */
+    bool onlinePromotion = false;
+    /** Candidate chunk size class (2 = 64 KB). */
+    unsigned promotionChunkClass = 2;
+    /** Accumulated miss-handler cycles that trigger promotion. */
+    Cycles promotionThresholdCycles = 20'000;
+    /** Honour the program's explicit remap()/sbrk() superpage
+     *  instrumentation. Set false to study online promotion alone:
+     *  explicit requests become no-ops while the promotion policy
+     *  (and remap()s it issues internally) still work. */
+    bool honorExplicitRemap = true;
+    /** @} */
+
+    /** Initial sbrk() preallocation chunk (vortex used 8 MB, §3.1). */
+    Addr sbrkPreallocBytes = 8 * 1024 * 1024;
+};
+
+/** Fixed kernel physical-memory layout. */
+struct KernelLayout
+{
+    static constexpr Addr kernelTextBase = 0x00000000;
+    static constexpr Addr kernelTextBytes = 0x00100000;     // 1 MB
+    /** Shadow table at 0x00100000 (Mmc::shadowTableBase). */
+    static constexpr Addr hptBase = 0x00200000;
+    static constexpr Addr ptPoolBase = 0x00400000;
+    static constexpr Addr framePoolBase = 0x00800000;       // 8 MB
+    static constexpr Addr firstUserPfn = framePoolBase >> basePageShift;
+};
+
+/** Result of an sbrk() call. */
+struct SbrkResult
+{
+    Addr oldBreak = 0;  ///< start of the newly granted range
+    Cycles cycles = 0;  ///< CPU cycles the call consumed
+};
+
+/** Result of swapping a superpage out. */
+struct SwapOutResult
+{
+    unsigned pagesWritten = 0;  ///< base pages queued to disk
+    unsigned pagesClean = 0;    ///< base pages skipped (not dirty)
+    Cycles cycles = 0;
+};
+
+/**
+ * The kernel.
+ */
+class Kernel
+{
+  public:
+    Kernel(const KernelConfig &config, const PhysMap &physmap,
+           Tlb &tlb, MicroItlb &uitlb, Cache &cache,
+           MemorySystem &memsys, stats::StatGroup &parent);
+
+    /** @name CPU-side trap entry points */
+    /** @{ */
+
+    /**
+     * Service a CPU TLB miss at @p vaddr: probe the HPT, fall back
+     * to the VM fault path (page-table walk + demand-zero) when the
+     * translation is absent, and insert the mapping into the TLB.
+     *
+     * @return CPU cycles consumed by the handler
+     */
+    Cycles handleTlbMiss(Addr vaddr, AccessType type, Cycles now);
+
+    /**
+     * Service a precise MTLB fault (§4): the base page backing
+     * @p vaddr inside a shadow superpage was swapped out. Reads it
+     * back from disk, reinstalls the MMC mapping, and returns.
+     */
+    Cycles handleShadowPageFault(Addr vaddr, Cycles now);
+
+    /** @} */
+
+    /** @name System calls / libc services used by workloads */
+    /** @{ */
+
+    /**
+     * remap(): back [vbase, vbase+bytes) with shadow superpages
+     * (§2.4). Sub-16 KB head/tail fragments stay base-paged.
+     *
+     * @param internal true for kernel-originated calls (online
+     *        promotion), which bypass the honorExplicitRemap policy
+     */
+    Cycles remap(Addr vbase, Addr bytes, Cycles now,
+                 bool internal = false);
+
+    /**
+     * Declare the heap: reserves [base, base+max_bytes) as the
+     * "heap" region and arms sbrk(). @p base should be aligned to
+     * the smallest superpage (16 KB) so remapping starts cleanly.
+     */
+    void initHeap(Addr base, Addr max_bytes);
+
+    /** Superpage-aware sbrk() (§2.3). */
+    SbrkResult sbrk(Addr bytes, Cycles now);
+
+    /** Current program break. */
+    Addr currentBreak() const { return brk_; }
+
+    /** Change the sbrk() preallocation chunk (vortex shrinks it
+     *  from 8 MB to 2 MB after building its datasets, §3.1). */
+    void setSbrkPrealloc(Addr bytes) { sbrkPrealloc_ = bytes; }
+
+    /** @} */
+
+    /** @name Paging (§2.5) */
+    /** @{ */
+
+    /** Swap out only the dirty base pages of a shadow superpage,
+     *  using the MTLB's per-base-page dirty bits. */
+    SwapOutResult swapOutSuperpagePagewise(Addr vbase, Cycles now);
+
+    /** Conventional superpage swap-out: every base page goes to
+     *  disk because no per-base-page dirty state exists. */
+    SwapOutResult swapOutSuperpageWhole(Addr vbase, Cycles now);
+
+    /** @} */
+
+    /** @name Shadow-memory extensions (§6 future work) */
+    /** @{ */
+
+    /**
+     * No-copy page recoloring: remap the (present) base page at
+     * @p vaddr to a shadow address of cache color @p color, without
+     * copying any data. Only meaningful with a physically indexed
+     * cache, where the shadow address chooses the set.
+     *
+     * @return CPU cycles consumed
+     */
+    Cycles recolorPage(Addr vaddr, unsigned color, Cycles now);
+
+    /** Cache color a virtual page currently resolves to (follows
+     *  the shadow mapping when one exists). */
+    unsigned colorOf(Addr vaddr);
+
+    /** @} */
+
+    /** Define the process's regions before running a workload. */
+    AddressSpace &addressSpace() { return *space_; }
+
+    FrameAllocator &frames() { return frames_; }
+    Hpt &hpt() { return hpt_; }
+    ShadowAllocator &shadowAllocator() { return *shadowAlloc_; }
+
+    const KernelConfig &config() const { return config_; }
+
+    /** Total cycles spent inside handleTlbMiss (Fig 3's miss time). */
+    Cycles
+    tlbMissCycles() const
+    {
+        return static_cast<Cycles>(tlbMissCycles_.value());
+    }
+
+    /** Cycles remap() spent flushing caches (§3.3 breakdown). */
+    Cycles
+    remapFlushCycles() const
+    {
+        return static_cast<Cycles>(remapFlushCycles_.value());
+    }
+
+    /** Total remap() cycles (§3.3). */
+    Cycles
+    remapTotalCycles() const
+    {
+        return static_cast<Cycles>(remapCycles_.value());
+    }
+
+    /** Base pages converted to shadow backing by remap(). */
+    std::uint64_t
+    remapPages() const
+    {
+        return static_cast<std::uint64_t>(remapPages_.value());
+    }
+
+  private:
+    /** One cached kernel memory access (kernel is identity mapped
+     *  through the pinned block TLB entry, so no TLB cost). */
+    Cycles kernelAccess(Addr paddr, bool write, Cycles now);
+
+    /** Zero-fill a freshly allocated frame through the cache. */
+    Cycles zeroFill(Addr pfn, Cycles now);
+
+    /** Allocate + zero a frame for @p vaddr and install the PTE. */
+    Cycles materialisePage(Addr vaddr, Cycles now);
+
+    /** Lazily constructed single-page shadow pool (§4/§6 modes). */
+    ShadowPagePool &pagePool();
+
+    /** Map a present base page through a single shadow page. A
+     *  @p fresh page (zeroed, never yet mapped) skips the cache
+     *  flush. */
+    Cycles mapPageToShadow(Addr vaddr, Addr shadow_page, Cycles now,
+                           bool fresh = false);
+
+    /** Undo a single-page shadow mapping (frees the shadow page). */
+    Cycles demoteSingleShadowPage(Addr vaddr, Cycles now);
+
+    /** Charge HPT-touch costs for a list of entry addresses. */
+    Cycles chargeHptTouches(const std::vector<Addr> &addrs, bool write,
+                            Cycles now);
+
+    /** Build the mapping the TLB should hold for @p vaddr. */
+    VmMapping mappingFor(Addr vaddr) const;
+
+    /** Highest heap address already granted (and remapped). */
+    Addr grantedFrontier() const { return remapFrontier_; }
+
+    /** Account a miss against the online-promotion policy and
+     *  promote the containing chunk when it crosses the threshold.
+     *  @return extra cycles spent promoting (0 normally). */
+    Cycles notePromotionCandidate(Addr vaddr, Cycles handler_cycles,
+                                  Cycles now);
+
+    KernelConfig config_;
+    const PhysMap &physMap_;
+    Tlb &tlb_;
+    MicroItlb &uitlb_;
+    Cache &cache_;
+    MemorySystem &memsys_;
+
+    FrameAllocator frames_;
+    Hpt hpt_;
+    std::unique_ptr<ShadowAllocator> shadowAlloc_;
+    std::unique_ptr<ShadowPagePool> pagePool_;
+    std::unique_ptr<AddressSpace> space_;
+
+    /** Online-promotion accounting: chunk base -> accumulated
+     *  miss-handler cycles. */
+    std::unordered_map<Addr, Cycles> promotionCredit_;
+
+    /** True while remap() materialises pages: suppresses all-shadow
+     *  single-page mappings that the superpage under construction
+     *  would immediately supersede. */
+    bool inRemap_ = false;
+
+    /** sbrk state. */
+    Addr heapBase_ = 0;
+    Addr brk_ = 0;
+    Addr remapFrontier_ = 0;
+    Addr sbrkPrealloc_ = 0;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar &tlbMisses_;
+    stats::Scalar &tlbMissCycles_;
+    stats::Scalar &vmFaults_;
+    stats::Scalar &vmFaultCycles_;
+    stats::Scalar &zeroFilledPages_;
+    stats::Scalar &remapCalls_;
+    stats::Scalar &remapSuperpages_;
+    stats::Scalar &remapPages_;
+    stats::Scalar &remapCycles_;
+    stats::Scalar &remapFlushCycles_;
+    stats::Scalar &sbrkCalls_;
+    stats::Scalar &shadowFaults_;
+    stats::Scalar &pagesSwappedOut_;
+    stats::Scalar &pagesSwappedIn_;
+    stats::Scalar &recoloredPages_;
+    stats::Scalar &allShadowPages_;
+};
+
+} // namespace mtlbsim
+
+#endif // MTLBSIM_OS_KERNEL_HH

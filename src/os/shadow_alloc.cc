@@ -1,0 +1,181 @@
+#include "os/shadow_alloc.hh"
+
+#include "base/intmath.hh"
+
+namespace mtlbsim
+{
+
+BucketShadowAllocator::Partition
+BucketShadowAllocator::defaultPartition()
+{
+    Partition p{};
+    p[1] = 1024;    // 16 KB   x 1024 =  16 MB
+    p[2] = 256;     // 64 KB   x  256 =  16 MB
+    p[3] = 128;     // 256 KB  x  128 =  32 MB
+    p[4] = 64;      // 1 MB    x   64 =  64 MB
+    p[5] = 32;      // 4 MB    x   32 = 128 MB
+    p[6] = 16;      // 16 MB   x   16 = 256 MB
+    return p;       // total: 512 MB (Figure 2)
+}
+
+BucketShadowAllocator::BucketShadowAllocator(const AddrRange &shadow,
+                                             const Partition &partition)
+    : shadow_(shadow)
+{
+    fatalIf(shadow.size == 0, "no shadow region to partition");
+    fatalIf(partition[0] != 0,
+            "4 KB regions cannot be allocated from shadow space");
+
+    // Lay buckets out largest-first so every region is naturally
+    // aligned to its own size (the shadow base itself must be
+    // aligned to the largest allocated class).
+    Addr cursor = shadow.base;
+    for (unsigned c = numPageSizeClasses; c-- > minShadowSizeClass;) {
+        const Addr size = pageSizeForClass(c);
+        if (partition[c] == 0)
+            continue;
+        fatalIf(cursor & (size - 1),
+                "shadow base not aligned for size class ", c);
+        for (Addr i = 0; i < partition[c]; ++i) {
+            fatalIf(cursor + size > shadow.end(),
+                    "partition exceeds the shadow region");
+            buckets_[c].push_back(cursor);
+            cursor += size;
+        }
+    }
+}
+
+std::optional<Addr>
+BucketShadowAllocator::allocate(unsigned size_class)
+{
+    fatalIf(size_class < minShadowSizeClass ||
+                size_class > maxShadowSizeClass,
+            "illegal shadow superpage class ", size_class);
+    auto &bucket = buckets_[size_class];
+    if (bucket.empty())
+        return std::nullopt;
+    const Addr base = bucket.back();
+    bucket.pop_back();
+    return base;
+}
+
+void
+BucketShadowAllocator::free(Addr base, unsigned size_class)
+{
+    panicIf(size_class < minShadowSizeClass ||
+                size_class > maxShadowSizeClass,
+            "illegal shadow superpage class ", size_class);
+    panicIf(!shadow_.contains(base), "freeing outside the shadow region");
+    buckets_[size_class].push_back(base);
+}
+
+Addr
+BucketShadowAllocator::available(unsigned size_class) const
+{
+    if (size_class >= numPageSizeClasses)
+        return 0;
+    return buckets_[size_class].size();
+}
+
+BuddyShadowAllocator::BuddyShadowAllocator(const AddrRange &shadow)
+    : shadow_(shadow), topClass_(maxShadowSizeClass)
+{
+    fatalIf(shadow.size == 0, "no shadow region");
+    const Addr top_size = pageSizeForClass(topClass_);
+    fatalIf(shadow.base & (top_size - 1),
+            "shadow base must be aligned to the largest superpage");
+    fatalIf(shadow.size < top_size,
+            "shadow region smaller than one largest superpage");
+
+    for (Addr b = shadow.base; b + top_size <= shadow.end(); b += top_size)
+        freeBlocks_[topClass_][b] = true;
+}
+
+bool
+BuddyShadowAllocator::splitDownTo(unsigned size_class)
+{
+    // Find the smallest larger class with a free block.
+    unsigned donor = size_class + 1;
+    while (donor <= topClass_ && freeBlocks_[donor].empty())
+        ++donor;
+    if (donor > topClass_)
+        return false;
+
+    // Split one block per level on the way down; each split of a
+    // class-c block yields 4 class-(c-1) blocks (sizes are powers
+    // of 4).
+    while (donor > size_class) {
+        auto it = freeBlocks_[donor].begin();
+        const Addr base = it->first;
+        freeBlocks_[donor].erase(it);
+        const Addr child_size = pageSizeForClass(donor - 1);
+        for (unsigned i = 0; i < 4; ++i)
+            freeBlocks_[donor - 1][base + i * child_size] = true;
+        --donor;
+    }
+    return true;
+}
+
+std::optional<Addr>
+BuddyShadowAllocator::allocate(unsigned size_class)
+{
+    fatalIf(size_class < minShadowSizeClass ||
+                size_class > maxShadowSizeClass,
+            "illegal shadow superpage class ", size_class);
+
+    if (freeBlocks_[size_class].empty() && !splitDownTo(size_class))
+        return std::nullopt;
+
+    auto it = freeBlocks_[size_class].begin();
+    const Addr base = it->first;
+    freeBlocks_[size_class].erase(it);
+    return base;
+}
+
+void
+BuddyShadowAllocator::free(Addr base, unsigned size_class)
+{
+    panicIf(!shadow_.contains(base), "freeing outside the shadow region");
+
+    unsigned c = size_class;
+    Addr b = base;
+    freeBlocks_[c][b] = true;
+
+    // Coalesce: when all 4 siblings of the enclosing class-(c+1)
+    // block are free, replace them with the parent.
+    while (c < topClass_) {
+        const Addr parent_size = pageSizeForClass(c + 1);
+        const Addr child_size = pageSizeForClass(c);
+        const Addr parent = b & ~(parent_size - 1);
+
+        bool all_free = true;
+        for (unsigned i = 0; i < 4 && all_free; ++i)
+            all_free = freeBlocks_[c].count(parent + i * child_size) > 0;
+        if (!all_free)
+            break;
+
+        for (unsigned i = 0; i < 4; ++i)
+            freeBlocks_[c].erase(parent + i * child_size);
+        freeBlocks_[c + 1][parent] = true;
+        b = parent;
+        ++c;
+    }
+}
+
+Addr
+BuddyShadowAllocator::available(unsigned size_class) const
+{
+    if (size_class >= numPageSizeClasses)
+        return 0;
+    // Count blocks at the exact class plus what could be split from
+    // larger classes.
+    Addr count = freeBlocks_[size_class].size();
+    Addr factor = 4;
+    for (unsigned c = size_class + 1; c <= topClass_; ++c) {
+        count += freeBlocks_[c].size() * factor;
+        factor *= 4;
+    }
+    return count;
+}
+
+} // namespace mtlbsim

@@ -1,0 +1,79 @@
+#include "os/shadow_page_pool.hh"
+
+#include "base/intmath.hh"
+
+namespace mtlbsim
+{
+
+ShadowPagePool::ShadowPagePool(ShadowAllocator &backing,
+                               unsigned num_colors)
+    : backing_(backing), numColors_(num_colors),
+      freeByColor_(num_colors)
+{
+    fatalIf(!isPowerOf2(num_colors), "colors must be a power of two");
+    const Addr block_pages =
+        pageSizeForClass(refillClass) >> basePageShift;
+    fatalIf(num_colors > block_pages,
+            "more colors than pages in a refill block");
+}
+
+bool
+ShadowPagePool::refill()
+{
+    const auto block = backing_.allocate(refillClass);
+    if (!block)
+        return false;
+    const Addr pages = pageSizeForClass(refillClass) >> basePageShift;
+    for (Addr i = 0; i < pages; ++i) {
+        const Addr page = *block + (i << basePageShift);
+        freeByColor_[colorOf(page)].push_back(page);
+    }
+    return true;
+}
+
+std::optional<Addr>
+ShadowPagePool::allocate()
+{
+    for (auto &bucket : freeByColor_) {
+        if (!bucket.empty()) {
+            const Addr page = bucket.back();
+            bucket.pop_back();
+            return page;
+        }
+    }
+    if (!refill())
+        return std::nullopt;
+    return allocate();
+}
+
+std::optional<Addr>
+ShadowPagePool::allocateColored(unsigned color)
+{
+    fatalIf(color >= numColors_, "color out of range: ", color);
+    if (freeByColor_[color].empty() && !refill())
+        return std::nullopt;
+    auto &bucket = freeByColor_[color];
+    panicIf(bucket.empty(),
+            "refill failed to produce the requested color");
+    const Addr page = bucket.back();
+    bucket.pop_back();
+    return page;
+}
+
+void
+ShadowPagePool::free(Addr page)
+{
+    fatalIf(page & basePageMask, "freeing a misaligned shadow page");
+    freeByColor_[colorOf(page)].push_back(page);
+}
+
+std::size_t
+ShadowPagePool::numFree() const
+{
+    std::size_t n = 0;
+    for (const auto &bucket : freeByColor_)
+        n += bucket.size();
+    return n;
+}
+
+} // namespace mtlbsim

@@ -1,0 +1,61 @@
+#include "sim/system.hh"
+
+namespace mtlbsim
+{
+
+namespace
+{
+
+/** Derive the MMC configuration from the system-level switches. */
+MmcConfig
+mmcConfigFrom(const SystemConfig &config)
+{
+    MmcConfig mmc;
+    mmc.hasMtlb = config.mtlbEnabled;
+    mmc.mtlb = config.mtlb;
+    mmc.dram = config.dram;
+    mmc.streamBuffers = config.streamBuffers;
+    return mmc;
+}
+
+/** The shadow region only exists on MTLB systems. */
+AddrRange
+shadowRangeFrom(const SystemConfig &config)
+{
+    return config.mtlbEnabled ? config.shadow : AddrRange{};
+}
+
+} // namespace
+
+System::System(const SystemConfig &config)
+    : config_(config),
+      rootStats_("system"),
+      physMap_(config.installedBytes, shadowRangeFrom(config),
+               config.physAddrBits)
+{
+    memsys_ = std::make_unique<MemorySystem>(
+        config.bus, mmcConfigFrom(config), physMap_, rootStats_);
+    cache_ = std::make_unique<Cache>(config.cache, *memsys_, rootStats_);
+    tlb_ = std::make_unique<Tlb>(config.tlbEntries, "tlb", rootStats_);
+    uitlb_ = std::make_unique<MicroItlb>(rootStats_);
+
+    KernelConfig kconfig = config.kernel;
+    // Shadow superpages only make sense with an MTLB downstream;
+    // the no-MTLB baseline keeps everything base-paged (§3.4).
+    if (!config.mtlbEnabled)
+        kconfig.superpagesEnabled = false;
+
+    kernel_ = std::make_unique<Kernel>(kconfig, physMap_, *tlb_,
+                                       *uitlb_, *cache_, *memsys_,
+                                       rootStats_);
+    cpu_ = std::make_unique<Cpu>(config.cpu, *tlb_, *uitlb_, *cache_,
+                                 *memsys_, *kernel_, rootStats_);
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    rootStats_.print(os);
+}
+
+} // namespace mtlbsim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Whole-system assembly: the public entry point of the library.
+ *
+ * A System wires together the paper's simulated machine (§3.2):
+ *
+ *   CPU (240 MHz, single issue)
+ *    |- unified I/D TLB (fully associative, NRU) + micro-ITLB
+ *    |- 512 KB direct-mapped VIPT write-back data cache
+ *    |       (perfect instruction cache)
+ *   Runway-like bus (120 MHz)
+ *    |- MMC (HP J-class-like) [+ MTLB + shadow table]
+ *    |- DRAM
+ *   Kernel (BSD-like VM: HPT miss handler, remap()/sbrk(), paging)
+ *
+ * Construct a System from a SystemConfig, define the process's
+ * regions through kernel().addressSpace(), then drive the CPU —
+ * either directly or by running one of the bundled workloads.
+ */
+
+#ifndef MTLBSIM_SIM_SYSTEM_HH
+#define MTLBSIM_SIM_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+
+#include "bus/bus.hh"
+#include "cache/cache.hh"
+#include "cpu/cpu.hh"
+#include "mem/physmap.hh"
+#include "mmc/memsys.hh"
+#include "os/kernel.hh"
+#include "stats/stats.hh"
+#include "tlb/tlb.hh"
+
+namespace mtlbsim
+{
+
+/** Top-level machine configuration. */
+struct SystemConfig
+{
+    /** CPU TLB entries; the paper evaluates 64/96/128/256 (§3.4). */
+    unsigned tlbEntries = 96;
+
+    /** Present an MTLB-capable MMC with a shadow region. */
+    bool mtlbEnabled = true;
+    /** MTLB geometry; the default matches §3.4 (128 entries,
+     *  2-way, NRU). */
+    MtlbConfig mtlb;
+
+    /** Installed DRAM (default 256 MB). */
+    Addr installedBytes = Addr{256} * 1024 * 1024;
+    /** Shadow region; default 512 MB at 0x80000000 (§2.2). */
+    AddrRange shadow = {0x80000000, Addr{512} * 1024 * 1024};
+    unsigned physAddrBits = 32;
+
+    CacheConfig cache;
+    BusConfig bus;
+    DramConfig dram;
+    /** MMC stream buffers (§6 future work; disabled by default). */
+    StreamBufferConfig streamBuffers;
+    CpuConfig cpu;
+    KernelConfig kernel;
+};
+
+/**
+ * The assembled machine.
+ */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+
+    Cpu &cpu() { return *cpu_; }
+    Kernel &kernel() { return *kernel_; }
+    Tlb &tlb() { return *tlb_; }
+    MicroItlb &uitlb() { return *uitlb_; }
+    Cache &cache() { return *cache_; }
+    MemorySystem &memsys() { return *memsys_; }
+    const PhysMap &physmap() const { return physMap_; }
+    const SystemConfig &config() const { return config_; }
+
+    stats::StatGroup &rootStats() { return rootStats_; }
+
+    /** Dump every statistic in gem5-style text form. */
+    void dumpStats(std::ostream &os) const;
+
+    /** @name Headline metrics for the experiments */
+    /** @{ */
+
+    /** Total simulated runtime in CPU cycles. */
+    Cycles totalCycles() const { return cpu_->now(); }
+
+    /** Cycles spent in the TLB-miss trap handler (Fig 3's shaded
+     *  fraction). */
+    Cycles tlbMissCycles() const { return kernel_->tlbMissCycles(); }
+
+    /** Fraction of runtime spent handling TLB misses. */
+    double
+    tlbMissFraction() const
+    {
+        const Cycles total = totalCycles();
+        return total ? static_cast<double>(tlbMissCycles()) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    /** Average CPU cycles per cache fill (Fig 4B's metric). */
+    double avgFillLatency() const { return cache_->avgFillLatency(); }
+
+    /** @} */
+
+  private:
+    SystemConfig config_;
+    stats::StatGroup rootStats_;
+    PhysMap physMap_;
+    std::unique_ptr<MemorySystem> memsys_;
+    std::unique_ptr<Cache> cache_;
+    std::unique_ptr<Tlb> tlb_;
+    std::unique_ptr<MicroItlb> uitlb_;
+    std::unique_ptr<Kernel> kernel_;
+    std::unique_ptr<Cpu> cpu_;
+};
+
+} // namespace mtlbsim
+
+#endif // MTLBSIM_SIM_SYSTEM_HH

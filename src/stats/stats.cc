@@ -1,0 +1,136 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace mtlbsim::stats
+{
+
+namespace
+{
+
+void
+printLine(std::ostream &os, const std::string &prefix,
+          const std::string &name, double value, const std::string &desc)
+{
+    std::ostringstream full;
+    full << prefix << name;
+    os << std::left << std::setw(44) << full.str() << ' '
+       << std::right << std::setw(16) << value;
+    if (!desc.empty())
+        os << "  # " << desc;
+    os << '\n';
+}
+
+} // namespace
+
+void
+Scalar::print(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name(), value_, desc());
+}
+
+void
+Average::print(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name() + ".mean", mean(), desc());
+    printLine(os, prefix, name() + ".count", count(), "");
+    printLine(os, prefix, name() + ".min", min(), "");
+    printLine(os, prefix, name() + ".max", max(), "");
+}
+
+void
+Histogram::print(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name() + ".mean", mean(), desc());
+    printLine(os, prefix, name() + ".count", count(), "");
+    printLine(os, prefix, name() + ".underflow", underflow(), "");
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        std::ostringstream bn;
+        bn << name() << ".bucket[" << lo_ + i * bucketWidth_ << ','
+           << lo_ + (i + 1) * bucketWidth_ << ')';
+        printLine(os, prefix, bn.str(), buckets_[i], "");
+    }
+    printLine(os, prefix, name() + ".overflow", overflow(), "");
+}
+
+void
+Formula::print(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name(), value(), desc());
+}
+
+Scalar &
+StatGroup::addScalar(const std::string &name, const std::string &desc)
+{
+    auto stat = std::make_unique<Scalar>(name, desc);
+    auto &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Average &
+StatGroup::addAverage(const std::string &name, const std::string &desc)
+{
+    auto stat = std::make_unique<Average>(name, desc);
+    auto &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Histogram &
+StatGroup::addHistogram(const std::string &name, const std::string &desc,
+                        double lo, double bucket_w, unsigned n_buckets)
+{
+    auto stat =
+        std::make_unique<Histogram>(name, desc, lo, bucket_w, n_buckets);
+    auto &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Formula &
+StatGroup::addFormula(const std::string &name, const std::string &desc,
+                      std::function<double()> fn)
+{
+    auto stat = std::make_unique<Formula>(name, desc, std::move(fn));
+    auto &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    panicIf(child == nullptr, "null child stat group");
+    children_.push_back(child);
+}
+
+const StatBase *
+StatGroup::find(const std::string &name) const
+{
+    auto it = std::find_if(stats_.begin(), stats_.end(),
+                           [&](const auto &s) { return s->name() == name; });
+    return it == stats_.end() ? nullptr : it->get();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &s : stats_)
+        s->reset();
+    for (auto *c : children_)
+        c->resetAll();
+}
+
+void
+StatGroup::print(std::ostream &os, const std::string &prefix) const
+{
+    std::string full = prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &s : stats_)
+        s->print(os, full + ".");
+    for (const auto *c : children_)
+        c->print(os, full);
+}
+
+} // namespace mtlbsim::stats

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * A small gem5-inspired statistics package.
+ *
+ * Components register named statistics in a StatGroup; the group can
+ * be dumped as text or queried programmatically by the experiment
+ * harnesses. Supported statistic kinds:
+ *
+ *  - Scalar:    a single counter or value.
+ *  - Average:   a running mean with count/sum/min/max.
+ *  - Histogram: fixed-width binned distribution.
+ *  - Formula:   a value computed from other stats at dump time.
+ */
+
+#ifndef MTLBSIM_STATS_STATS_HH
+#define MTLBSIM_STATS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace mtlbsim::stats
+{
+
+/** Abstract named statistic. */
+class StatBase
+{
+  public:
+    StatBase(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+    virtual ~StatBase() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Reset the statistic to its initial state. */
+    virtual void reset() = 0;
+
+    /** Print one or more "name value # desc" lines. */
+    virtual void print(std::ostream &os, const std::string &prefix)
+        const = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A single scalar counter/value. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator=(double v) { value_ = v; return *this; }
+
+    double value() const { return value_; }
+
+    void reset() override { value_ = 0; }
+    void print(std::ostream &os, const std::string &prefix) const override;
+
+  private:
+    double value_ = 0;
+};
+
+/** Running mean with count, sum, min, and max. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        if (v < min_) min_ = v;
+        if (v > max_) max_ = v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset() override
+    {
+        count_ = 0;
+        sum_ = 0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-width binned histogram with underflow/overflow buckets. */
+class Histogram : public StatBase
+{
+  public:
+    /**
+     * @param name      statistic name
+     * @param desc      description
+     * @param lo        lower edge of the first bucket
+     * @param bucket_w  width of each bucket (must be > 0)
+     * @param n_buckets number of in-range buckets (must be > 0)
+     */
+    Histogram(std::string name, std::string desc, double lo,
+              double bucket_w, unsigned n_buckets)
+        : StatBase(std::move(name), std::move(desc)),
+          lo_(lo), bucketWidth_(bucket_w), buckets_(n_buckets, 0)
+    {
+        fatalIf(bucket_w <= 0, "histogram bucket width must be positive");
+        fatalIf(n_buckets == 0, "histogram needs at least one bucket");
+    }
+
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        if (v < lo_) {
+            ++underflow_;
+        } else {
+            auto idx = static_cast<std::size_t>((v - lo_) / bucketWidth_);
+            if (idx >= buckets_.size())
+                ++overflow_;
+            else
+                ++buckets_[idx];
+        }
+    }
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t bucket(unsigned i) const { return buckets_.at(i); }
+    unsigned numBuckets() const { return buckets_.size(); }
+
+    void
+    reset() override
+    {
+        count_ = 0;
+        sum_ = 0;
+        underflow_ = overflow_ = 0;
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+    }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+
+  private:
+    double lo_;
+    double bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+};
+
+/** A value computed at dump time from other statistics. */
+class Formula : public StatBase
+{
+  public:
+    Formula(std::string name, std::string desc,
+            std::function<double()> fn)
+        : StatBase(std::move(name), std::move(desc)), fn_(std::move(fn))
+    {}
+
+    double value() const { return fn_(); }
+
+    void reset() override {}
+    void print(std::ostream &os, const std::string &prefix) const override;
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A named collection of statistics belonging to one component.
+ *
+ * Groups own their stats; components hold references obtained from
+ * the add* factory methods. Groups may nest via child groups.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    Scalar &addScalar(const std::string &name, const std::string &desc);
+    Average &addAverage(const std::string &name, const std::string &desc);
+    Histogram &addHistogram(const std::string &name,
+                            const std::string &desc, double lo,
+                            double bucket_w, unsigned n_buckets);
+    Formula &addFormula(const std::string &name, const std::string &desc,
+                        std::function<double()> fn);
+
+    /** Register a child group (not owned). */
+    void addChild(StatGroup *child);
+
+    /** Find a statistic by name in this group only; null if absent. */
+    const StatBase *find(const std::string &name) const;
+
+    /** Reset this group's stats and all children. */
+    void resetAll();
+
+    /** Dump "group.stat value # desc" lines, recursively. */
+    void print(std::ostream &os, const std::string &prefix = "") const;
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<StatBase>> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace mtlbsim::stats
+
+#endif // MTLBSIM_STATS_STATS_HH

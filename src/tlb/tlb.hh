@@ -1,0 +1,224 @@
+/**
+ * @file
+ * CPU-resident translation lookaside buffer model.
+ *
+ * Models the paper's processor TLBs (§3.2): unified I/D, single
+ * cycle, fully associative, not-recently-used (NRU) replacement.
+ * Entries may map superpages — power-of-4 multiples of the 4 KB base
+ * page (16 KB up to 64 MB), as in PA-RISC 2.0 and the R10000 (§1).
+ *
+ * A superpage entry's physical base may be a *shadow* address; the
+ * TLB is agnostic — shadow addresses flow through it exactly like
+ * real ones (§2.1).
+ *
+ * Misses are serviced by a software trap routine modelled in the CPU;
+ * this class only tracks the architectural content and hit/miss
+ * statistics. A single pinned "block TLB" entry maps kernel code and
+ * data and is never replaced (§3.2).
+ */
+
+#ifndef MTLBSIM_TLB_TLB_HH
+#define MTLBSIM_TLB_TLB_HH
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+#include "base/types.hh"
+#include "stats/stats.hh"
+
+namespace mtlbsim
+{
+
+/**
+ * Legal page-size classes: size = 4 KB * 4^sizeClass.
+ * Class 0 is the base page; classes 1..7 are superpages (§1).
+ */
+constexpr unsigned numPageSizeClasses = 8;
+
+/** Byte shift for a page-size class. */
+constexpr unsigned
+pageShiftForClass(unsigned size_class)
+{
+    return basePageShift + 2 * size_class;
+}
+
+/** Byte size for a page-size class. */
+constexpr Addr
+pageSizeForClass(unsigned size_class)
+{
+    return Addr{1} << pageShiftForClass(size_class);
+}
+
+/** Smallest size class whose page size is >= bytes (caps at max). */
+unsigned sizeClassFor(Addr bytes);
+
+/** Page protection attributes carried in each TLB entry (§2.1). */
+struct PageProtection
+{
+    bool writable = true;
+    bool userAccessible = true;
+
+    bool operator==(const PageProtection &) const = default;
+};
+
+/** One TLB entry: maps a (super)page of virtual space. */
+struct TlbEntry
+{
+    Addr vbase = 0;         ///< virtual base (aligned to the size)
+    Addr pbase = 0;         ///< physical/shadow base (aligned too)
+    unsigned sizeClass = 0; ///< page size = 4 KB * 4^sizeClass
+    PageProtection prot;
+    bool valid = false;
+    bool pinned = false;    ///< block-TLB entry, never replaced
+    bool referenced = false; ///< NRU reference bit
+
+    Addr size() const { return pageSizeForClass(sizeClass); }
+
+    bool
+    covers(Addr vaddr) const
+    {
+        return valid && (vaddr >> pageShiftForClass(sizeClass)) ==
+                            (vbase >> pageShiftForClass(sizeClass));
+    }
+
+    /** Translate an address this entry covers. */
+    Addr
+    translate(Addr vaddr) const
+    {
+        const Addr mask = size() - 1;
+        return pbase | (vaddr & mask);
+    }
+};
+
+/** Outcome of a TLB lookup. */
+struct TlbLookupResult
+{
+    bool hit = false;
+    bool protFault = false; ///< hit, but the access is not permitted
+    Addr paddr = 0;         ///< valid when hit && !protFault
+};
+
+/**
+ * Fully associative, NRU-replacement TLB with superpage support.
+ */
+class Tlb
+{
+  public:
+    /**
+     * @param num_entries capacity including the pinned block entry
+     * @param name        stats group name (e.g. "dtlb")
+     */
+    Tlb(unsigned num_entries, const std::string &name,
+        stats::StatGroup &parent);
+
+    /**
+     * Look up @p vaddr for an access of kind @p type in mode @p mode.
+     * On a hit the entry's NRU bit is set.
+     */
+    TlbLookupResult lookup(Addr vaddr, AccessType type, AccessMode mode);
+
+    /**
+     * Insert a mapping, evicting an NRU victim if full. The caller
+     * (the miss handler model) has already charged the trap cost.
+     *
+     * Pre-existing entries overlapping the same virtual range are
+     * discarded first, as on TLBs that auto-purge duplicates (§2.3).
+     */
+    void insert(Addr vbase, Addr pbase, unsigned size_class,
+                PageProtection prot, bool pinned = false);
+
+    /** Remove any entries overlapping [vbase, vbase+bytes). */
+    void purgeRange(Addr vbase, Addr bytes);
+
+    /** Remove all non-pinned entries. */
+    void purgeAll();
+
+    /** Number of valid entries. */
+    unsigned occupancy() const;
+
+    unsigned capacity() const { return numEntries_; }
+
+    /** Probe without updating NRU state or stats (test support). */
+    std::optional<TlbEntry> probe(Addr vaddr) const;
+
+    std::uint64_t hits() const
+    {
+        return static_cast<std::uint64_t>(hits_.value());
+    }
+    std::uint64_t misses() const
+    {
+        return static_cast<std::uint64_t>(misses_.value());
+    }
+
+  private:
+    /** Map key for the per-size-class lookup index. */
+    using VpnMap = std::unordered_map<Addr, unsigned>;
+
+    int findEntry(Addr vaddr) const;
+    unsigned pickVictim();
+    void dropEntry(unsigned idx);
+
+    unsigned numEntries_;
+    std::vector<TlbEntry> entries_;
+    std::vector<unsigned> freeList_;
+    /** Per-size-class index: (vaddr >> shift) -> entry slot. Only
+     *  classes with live entries are probed on lookup. */
+    VpnMap index_[numPageSizeClasses];
+    unsigned liveInClass_[numPageSizeClasses] = {};
+    unsigned nruClock_ = 0; ///< rotating start point for victim scan
+
+    stats::StatGroup statGroup_;
+    stats::Scalar &hits_;
+    stats::Scalar &misses_;
+    stats::Scalar &protFaults_;
+    stats::Scalar &inserts_;
+    stats::Scalar &evictions_;
+};
+
+/**
+ * Single-entry micro-ITLB holding the most recent instruction
+ * translation (§3.2). Instruction fetches that hit here do not
+ * consult the unified TLB at all.
+ */
+class MicroItlb
+{
+  public:
+    explicit MicroItlb(stats::StatGroup &parent);
+
+    /** True if the fetch at @p vaddr hits the cached translation. */
+    bool
+    hit(Addr vaddr)
+    {
+        if (valid_ && entry_.covers(vaddr)) {
+            ++hits_;
+            return true;
+        }
+        ++misses_;
+        return false;
+    }
+
+    /** Install the translation used by the last fetch. */
+    void
+    fill(const TlbEntry &entry)
+    {
+        entry_ = entry;
+        valid_ = true;
+    }
+
+    void invalidate() { valid_ = false; }
+
+  private:
+    TlbEntry entry_;
+    bool valid_ = false;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar &hits_;
+    stats::Scalar &misses_;
+};
+
+} // namespace mtlbsim
+
+#endif // MTLBSIM_TLB_TLB_HH

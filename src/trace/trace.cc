@@ -1,0 +1,86 @@
+#include "trace/trace.hh"
+
+#include <cstring>
+
+namespace mtlbsim
+{
+
+TraceWriter::TraceWriter(const std::string &path,
+                         const std::string &workload)
+    : out_(path, std::ios::binary)
+{
+    fatalIf(!out_, "cannot open trace file for writing: ", path);
+
+    TraceHeader header;
+    std::strncpy(header.workload, workload.c_str(),
+                 sizeof(header.workload) - 1);
+    out_.write(reinterpret_cast<const char *>(&header),
+               sizeof(header));
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!finished_)
+        finish();
+}
+
+void
+TraceWriter::append(const TraceRecord &record)
+{
+    panicIf(finished_, "appending to a finished trace");
+    RawRecord raw{};
+    raw.kind = static_cast<std::uint8_t>(record.kind);
+    raw.count = record.count;
+    raw.addr = record.addr;
+    out_.write(reinterpret_cast<const char *>(&raw), sizeof(raw));
+    ++records_;
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished_)
+        return;
+    RawRecord raw{};
+    raw.kind = static_cast<std::uint8_t>(TraceKind::End);
+    out_.write(reinterpret_cast<const char *>(&raw), sizeof(raw));
+    out_.flush();
+    finished_ = true;
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : in_(path, std::ios::binary)
+{
+    fatalIf(!in_, "cannot open trace file: ", path);
+
+    TraceHeader header;
+    in_.read(reinterpret_cast<char *>(&header), sizeof(header));
+    fatalIf(!in_ || header.magic != TraceHeader::magicValue,
+            "not a mtlb-sim trace: ", path);
+    fatalIf(header.version != TraceHeader::versionValue,
+            "unsupported trace version ", header.version);
+    header.workload[sizeof(header.workload) - 1] = '\0';
+    workload_ = header.workload;
+}
+
+bool
+TraceReader::next(TraceRecord &record)
+{
+    if (done_)
+        return false;
+    RawRecord raw{};
+    in_.read(reinterpret_cast<char *>(&raw), sizeof(raw));
+    if (!in_ || raw.kind == static_cast<std::uint8_t>(TraceKind::End)) {
+        done_ = true;
+        return false;
+    }
+    fatalIf(raw.kind == 0 ||
+                raw.kind > static_cast<std::uint8_t>(TraceKind::End),
+            "corrupt trace record kind ", unsigned{raw.kind});
+    record.kind = static_cast<TraceKind>(raw.kind);
+    record.count = raw.count;
+    record.addr = raw.addr;
+    return true;
+}
+
+} // namespace mtlbsim

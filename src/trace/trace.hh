@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Memory-reference trace capture and replay.
+ *
+ * The paper's methodology is execution-driven, but a simulator
+ * library also needs trace-driven operation: capture a workload's
+ * reference stream once, then replay it against many machine
+ * configurations quickly and with guaranteed identical inputs.
+ *
+ * The trace format is a compact binary stream of records:
+ *
+ *   [u8 kind][u8 pad][u16 count][u64 addr]
+ *
+ * where kind encodes the record type and, for Execute records,
+ * count is the instruction count (addr carries the code address for
+ * ExecuteAt records). Traces carry a small header with magic,
+ * version, and the workload name.
+ */
+
+#ifndef MTLBSIM_TRACE_TRACE_HH
+#define MTLBSIM_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace mtlbsim
+{
+
+/** Kinds of trace records. */
+enum class TraceKind : std::uint8_t
+{
+    Load = 1,       ///< data load at addr
+    Store = 2,      ///< data store at addr
+    Execute = 3,    ///< count instructions, no code address
+    ExecuteAt = 4,  ///< count instructions fetched at addr
+    Remap = 5,      ///< remap(addr, count * 4 KB pages... see below)
+    Sbrk = 6,       ///< sbrk(addr bytes)
+    End = 7,        ///< end of trace
+};
+
+/** One trace record. For Remap, addr is the region base and
+ *  count holds the region size in 16 KB units (so a u16 spans up to
+ *  1 GB). For Sbrk, addr is the byte count requested. */
+struct TraceRecord
+{
+    TraceKind kind = TraceKind::End;
+    std::uint16_t count = 0;
+    Addr addr = 0;
+
+    bool operator==(const TraceRecord &) const = default;
+};
+
+/** Fixed-size on-disk record (12 bytes packed to 16 for alignment). */
+struct RawRecord
+{
+    std::uint8_t kind;
+    std::uint8_t pad;
+    std::uint16_t count;
+    std::uint32_t pad2;
+    std::uint64_t addr;
+};
+
+static_assert(sizeof(RawRecord) == 16, "raw record must be 16 bytes");
+
+/** Trace-file header. */
+struct TraceHeader
+{
+    static constexpr std::uint32_t magicValue = 0x4d544c42; // "MTLB"
+    static constexpr std::uint32_t versionValue = 1;
+
+    std::uint32_t magic = magicValue;
+    std::uint32_t version = versionValue;
+    char workload[32] = {};
+};
+
+/**
+ * Streaming trace writer.
+ */
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing and emit the header. */
+    TraceWriter(const std::string &path, const std::string &workload);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void append(const TraceRecord &record);
+
+    void load(Addr addr) { append({TraceKind::Load, 0, addr}); }
+    void store(Addr addr) { append({TraceKind::Store, 0, addr}); }
+    void
+    execute(std::uint16_t n)
+    {
+        append({TraceKind::Execute, n, 0});
+    }
+    void
+    executeAt(std::uint16_t n, Addr code)
+    {
+        append({TraceKind::ExecuteAt, n, code});
+    }
+
+    /** Finish the stream (also done by the destructor). */
+    void finish();
+
+    std::uint64_t recordsWritten() const { return records_; }
+
+  private:
+    std::ofstream out_;
+    std::uint64_t records_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Streaming trace reader.
+ */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+
+    /** Read the next record; returns false at End/EOF. */
+    bool next(TraceRecord &record);
+
+    const std::string &workloadName() const { return workload_; }
+
+  private:
+    std::ifstream in_;
+    std::string workload_;
+    bool done_ = false;
+};
+
+} // namespace mtlbsim
+
+#endif // MTLBSIM_TRACE_TRACE_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Trace capture and replay adapters around the CPU model.
+ *
+ * TracingCpu mirrors the Cpu driving interface and tees every
+ * operation into a TraceWriter while forwarding it to a real Cpu —
+ * wrap it around a workload run to capture its reference stream.
+ *
+ * TraceReplayer feeds a captured trace back into a System: the same
+ * input stream can then be replayed against many machine
+ * configurations, trace-driven-simulation style.
+ */
+
+#ifndef MTLBSIM_TRACE_TRACING_CPU_HH
+#define MTLBSIM_TRACE_TRACING_CPU_HH
+
+#include "cpu/cpu.hh"
+#include "sim/system.hh"
+#include "trace/trace.hh"
+
+namespace mtlbsim
+{
+
+/**
+ * Tee adapter: forwards to a Cpu, records to a TraceWriter.
+ *
+ * Matches the subset of the Cpu interface workloads drive, so a
+ * workload templated or hand-written against either works the same.
+ */
+class TracingCpu
+{
+  public:
+    TracingCpu(Cpu &cpu, TraceWriter &writer)
+        : cpu_(cpu), writer_(writer)
+    {}
+
+    void
+    execute(Counter n)
+    {
+        // Large counts split across u16 records; the total is
+        // preserved.
+        Counter left = n;
+        while (left > 0) {
+            const auto chunk = static_cast<std::uint16_t>(
+                left > 0xffff ? 0xffff : left);
+            writer_.execute(chunk);
+            left -= chunk;
+        }
+        cpu_.execute(n);
+    }
+
+    void
+    executeAt(Counter n, Addr code)
+    {
+        Counter left = n;
+        while (left > 0) {
+            const auto chunk = static_cast<std::uint16_t>(
+                left > 0xffff ? 0xffff : left);
+            writer_.executeAt(chunk, code);
+            left -= chunk;
+        }
+        cpu_.executeAt(n, code);
+    }
+
+    void
+    load(Addr addr)
+    {
+        writer_.load(addr);
+        cpu_.load(addr);
+    }
+
+    void
+    store(Addr addr)
+    {
+        writer_.store(addr);
+        cpu_.store(addr);
+    }
+
+    void
+    remap(Addr vbase, Addr bytes)
+    {
+        writer_.append({TraceKind::Remap,
+                        static_cast<std::uint16_t>(
+                            bytes / (16 * 1024)),
+                        vbase});
+        cpu_.remap(vbase, bytes);
+    }
+
+    Addr
+    sbrk(Addr bytes)
+    {
+        writer_.append({TraceKind::Sbrk, 0, bytes});
+        return cpu_.sbrk(bytes);
+    }
+
+    Cycles now() const { return cpu_.now(); }
+
+  private:
+    Cpu &cpu_;
+    TraceWriter &writer_;
+};
+
+/**
+ * Replays a trace into a System's CPU.
+ */
+class TraceReplayer
+{
+  public:
+    explicit TraceReplayer(System &sys) : sys_(sys) {}
+
+    /**
+     * Replay the whole trace. The caller must have declared the
+     * address-space regions the trace touches (replays of bundled
+     * workload traces can use Workload::setup on a scratch system to
+     * learn them, or declare a covering region).
+     *
+     * @return number of records replayed
+     */
+    std::uint64_t
+    replay(TraceReader &reader)
+    {
+        std::uint64_t n = 0;
+        TraceRecord record;
+        while (reader.next(record)) {
+            ++n;
+            switch (record.kind) {
+              case TraceKind::Load:
+                sys_.cpu().load(record.addr);
+                break;
+              case TraceKind::Store:
+                sys_.cpu().store(record.addr);
+                break;
+              case TraceKind::Execute:
+                sys_.cpu().execute(record.count);
+                break;
+              case TraceKind::ExecuteAt:
+                sys_.cpu().executeAt(record.count, record.addr);
+                break;
+              case TraceKind::Remap:
+                sys_.cpu().remap(record.addr,
+                                 Addr{record.count} * 16 * 1024);
+                break;
+              case TraceKind::Sbrk:
+                sys_.cpu().sbrk(record.addr);
+                break;
+              case TraceKind::End:
+                return n;
+            }
+        }
+        return n;
+    }
+
+  private:
+    System &sys_;
+};
+
+} // namespace mtlbsim
+
+#endif // MTLBSIM_TRACE_TRACING_CPU_HH

@@ -1,0 +1,153 @@
+#include "workloads/gcc.hh"
+
+#include "base/intmath.hh"
+
+namespace mtlbsim
+{
+
+namespace
+{
+constexpr Addr rtlNodeBytes = 48;
+}
+
+GccWorkload::GccWorkload(const GccConfig &config) : config_(config)
+{
+    fatalIf(config.functions == 0, "cc1 needs functions to compile");
+    fatalIf(config.passes == 0, "cc1 needs passes");
+    fatalIf(config.textPages < config.hotPagesPerPass,
+            "text smaller than one pass's hot set");
+}
+
+Addr
+GccWorkload::codeAddr(unsigned pass, Random &rng)
+{
+    // Instruction fetch is overwhelmingly sequential: stay on the
+    // current page most of the time. ~5% of checks branch within
+    // the pass's hot window; ~0.5% call a cold helper anywhere in
+    // the 1.4 MB text image. Each pass has its own window, so the
+    // hot set drifts across the text over the run.
+    if (currentCode_ != 0 && !rng.chance(55, 1000))
+        return currentCode_;
+
+    unsigned page;
+    if (rng.chance(1, 25)) {
+        page = static_cast<unsigned>(rng.below(config_.textPages));
+    } else {
+        const unsigned window_start =
+            (pass * config_.hotPagesPerPass * 7) % config_.textPages;
+        page = (window_start + static_cast<unsigned>(rng.below(
+                                   config_.hotPagesPerPass))) %
+               config_.textPages;
+    }
+    currentCode_ = codeBase_ + Addr{page} * basePageSize;
+    return currentCode_;
+}
+
+void
+GccWorkload::setup(System &sys)
+{
+    Cpu &cpu = sys.cpu();
+    Kernel &kernel = sys.kernel();
+    AddressSpace &space = kernel.addressSpace();
+
+    codeBase_ = UserLayout::textBase;
+    space.addRegion("text", codeBase_,
+                    Addr{config_.textPages} * basePageSize,
+                    PageProtection{false, true});
+    space.addRegion("stack", UserLayout::stackBase,
+                    UserLayout::stackBytes, PageProtection{});
+
+    // Static data: the symbol hash table and compiler globals.
+    symtabBase_ = UserLayout::dataBase;
+    space.addRegion("symtab", symtabBase_,
+                    roundUp(config_.symtabBytes, basePageSize),
+                    PageProtection{});
+
+    // §3.1: all superpage creation is performed by sbrk().
+    kernel.initHeap(UserLayout::heapBase, UserLayout::heapMaxBytes);
+    kernel.setSbrkPrealloc(config_.preallocBytes);
+
+    Random rng(config_.seed);
+    // Compiler startup: reads its tables, touches much of its text.
+    for (unsigned i = 0; i < 200; ++i)
+        cpu.executeAt(2'000, codeAddr(0, rng));
+}
+
+void
+GccWorkload::run(System &sys)
+{
+    Cpu &cpu = sys.cpu();
+    Random rng(config_.seed ^ 0x777);
+
+    const Addr hash_slots = config_.symtabBytes / 8;
+
+    for (unsigned f = 0; f < config_.functions; ++f) {
+        // Function sizes vary widely in insn-recog.c.
+        const unsigned nodes =
+            config_.avgNodesPerFunction / 2 +
+            static_cast<unsigned>(
+                rng.below(config_.avgNodesPerFunction));
+
+        // Parse: bump-allocate the RTL list from the obstack.
+        const Addr base =
+            cpu.sbrk(Addr{nodes} * rtlNodeBytes);
+        functionNodes_.push_back(base);
+        functionSizes_.push_back(nodes);
+        for (unsigned n = 0; n < nodes; ++n) {
+            const Addr node = base + Addr{n} * rtlNodeBytes;
+            cpu.executeAt(10, codeAddr(0, rng));
+            cpu.store(node);
+            cpu.store(node + 16);
+            cpu.store(node + 32);
+            // The lexer interns identifiers in the symbol table.
+            if (rng.chance(1, 8)) {
+                cpu.load(symtabBase_ + rng.below(hash_slots) * 8);
+            }
+        }
+
+        // Optimisation / generation passes walk the RTL.
+        for (unsigned p = 1; p <= config_.passes; ++p) {
+            for (unsigned n = 0; n < nodes; ++n) {
+                const Addr node = base + Addr{n} * rtlNodeBytes;
+                cpu.executeAt(9, codeAddr(p, rng));
+                cpu.load(node);
+                cpu.load(node + 24);
+
+                // Cross-references to other RTL (shared rtx, symbol
+                // refs). Mostly temporally local — the functions
+                // just compiled — with occasional long-range chases
+                // into older obstacks.
+                if (rng.chance(1, 6) && !functionNodes_.empty()) {
+                    std::size_t tf;
+                    if (rng.chance(17, 20)) {
+                        const std::size_t window =
+                            functionNodes_.size() < 3
+                                ? functionNodes_.size()
+                                : 3;
+                        tf = functionNodes_.size() - 1 -
+                             rng.below(window);
+                    } else {
+                        tf = rng.below(functionNodes_.size());
+                    }
+                    const Addr target =
+                        functionNodes_[tf] +
+                        rng.below(functionSizes_[tf]) * rtlNodeBytes;
+                    cpu.load(target);
+                }
+                // Symbol/attribute hash probes.
+                if (rng.chance(1, 16)) {
+                    const Addr slot =
+                        symtabBase_ + rng.below(hash_slots) * 8;
+                    cpu.load(slot);
+                    if (rng.chance(1, 4))
+                        cpu.store(slot);
+                }
+                // Occasional rewrite of the node.
+                if (rng.chance(1, 6))
+                    cpu.store(node + 8);
+            }
+        }
+    }
+}
+
+} // namespace mtlbsim

@@ -1,0 +1,186 @@
+#include "workloads/vortex.hh"
+
+#include "base/intmath.hh"
+
+namespace mtlbsim
+{
+
+VortexWorkload::VortexWorkload(const VortexConfig &config)
+    : config_(config)
+{
+    fatalIf(config.numDatabases == 0, "vortex needs databases");
+    fatalIf(config.objectsPerDb == 0, "vortex needs objects");
+    fatalIf(config.treeFanout < 2, "tree fanout must be >= 2");
+}
+
+Addr
+VortexWorkload::alloc(System &sys, Addr bytes)
+{
+    // 16-byte allocator header + payload, like a classic malloc.
+    Cpu &cpu = sys.cpu();
+    const Addr block = cpu.sbrk(roundUp(bytes + 16, 16));
+    cpu.execute(6);
+    cpu.store(block);           // header write
+    return block + 16;
+}
+
+Addr
+VortexWorkload::allocObject(System &sys, Random &rng)
+{
+    Cpu &cpu = sys.cpu();
+    const Addr size = 64 + rng.below(3) * 64;   // 64/128/192 B
+    const Addr obj = alloc(sys, size);
+    // Initialise the object's fields.
+    for (Addr off = 0; off < size; off += 32) {
+        cpu.execute(2);
+        cpu.store(obj + off);
+    }
+    return obj;
+}
+
+void
+VortexWorkload::setup(System &sys)
+{
+    Cpu &cpu = sys.cpu();
+    Kernel &kernel = sys.kernel();
+    AddressSpace &space = kernel.addressSpace();
+
+    codeBase_ = UserLayout::textBase;
+    space.addRegion("text", codeBase_, 128 * basePageSize,
+                    PageProtection{false, true});
+    space.addRegion("stack", UserLayout::stackBase,
+                    UserLayout::stackBytes, PageProtection{});
+
+    // §3.1: initial sbrk preallocation (8 MB at full scale) so the
+    // basic datasets land in one remapped group.
+    kernel.initHeap(UserLayout::heapBase, UserLayout::heapMaxBytes);
+    kernel.setSbrkPrealloc(config_.initialPreallocBytes);
+
+    cpu.executeAt(200'000, codeBase_);  // program startup
+
+    Random rng(config_.seed);
+    dbs_.resize(config_.numDatabases);
+
+    for (auto &db : dbs_) {
+        // Build the objects.
+        db.objects.reserve(config_.objectsPerDb);
+        for (unsigned i = 0; i < config_.objectsPerDb; ++i) {
+            cpu.executeAt(24, codeBase_ + (i % 13) * basePageSize);
+            db.objects.push_back(allocObject(sys, rng));
+        }
+
+        // Build the index bottom-up: leaves reference objects, inner
+        // levels reference the level below. Node = fanout 8-byte
+        // slots + 16 bytes of header.
+        const Addr node_bytes = 16 + Addr{config_.treeFanout} * 8;
+        std::size_t level_count =
+            divCeil(config_.objectsPerDb, config_.treeFanout);
+        std::vector<std::vector<Addr>> levels;
+        while (true) {
+            std::vector<Addr> level;
+            level.reserve(level_count);
+            for (std::size_t n = 0; n < level_count; ++n) {
+                const Addr node = alloc(sys, node_bytes);
+                for (unsigned s = 0; s <= config_.treeFanout; ++s) {
+                    cpu.execute(2);
+                    cpu.store(node + Addr{s} * 8);
+                }
+                level.push_back(node);
+            }
+            levels.push_back(std::move(level));
+            if (level_count == 1)
+                break;
+            level_count = divCeil(level_count, config_.treeFanout);
+        }
+        // Store root-first.
+        db.treeLevels.assign(levels.rbegin(), levels.rend());
+    }
+
+    // §3.1: after the basic datasets exist, the preallocation
+    // increment drops (to 2 MB at full scale).
+    kernel.setSbrkPrealloc(config_.laterPreallocBytes);
+}
+
+void
+VortexWorkload::traverse(System &sys, const Database &db,
+                         std::uint64_t key)
+{
+    Cpu &cpu = sys.cpu();
+    // Root-to-leaf descent: at each node, scan a few key slots and
+    // load the child pointer.
+    std::size_t index = key % db.objects.size();
+    for (std::size_t lvl = 0; lvl < db.treeLevels.size(); ++lvl) {
+        // Which node of this level the key falls into.
+        std::size_t span = 1;
+        for (std::size_t below = lvl + 1; below < db.treeLevels.size();
+             ++below)
+            span *= config_.treeFanout;
+        const std::size_t node_idx =
+            (index / span) % db.treeLevels[lvl].size();
+        const Addr node = db.treeLevels[lvl][node_idx];
+
+        cpu.executeAt(8, codeBase_ + ((lvl + 3) % 29) * basePageSize);
+        cpu.load(node);                     // header
+        cpu.load(node + 16 + (index % config_.treeFanout) * 8);
+        cpu.load(node + 16 + ((index + 1) % config_.treeFanout) * 8);
+    }
+}
+
+void
+VortexWorkload::run(System &sys)
+{
+    Cpu &cpu = sys.cpu();
+    Random rng(config_.seed ^ 0xabcdef);
+
+    for (unsigned t = 0; t < config_.transactions; ++t) {
+        Database &db = dbs_[rng.below(dbs_.size())];
+        // Transactions exhibit strong temporal locality over a hot
+        // set of recently-active keys — but because allocation order
+        // is unrelated to key order, the hot objects are *scattered*
+        // across the database's address range: only a line or two
+        // per page is touched. Such sparse sets fit comfortably in
+        // the 512 KB cache while spanning far more pages than a
+        // 64-128-entry TLB can map — the access structure behind
+        // vortex's TLB-bound behaviour.
+        std::uint64_t key;
+        if (rng.chance(22, 25)) {
+            const std::uint64_t hot_span = db.objects.size() / 24 + 1;
+            const std::uint64_t hot_base =
+                (t / 4096) * hot_span;  // hot set drifts over the run
+            key = ((hot_base + rng.below(hot_span)) *
+                   2654435761ULL) %
+                  db.objects.size();
+        } else {
+            key = rng.next();
+        }
+
+        // Lookup.
+        traverse(sys, db, key);
+        const Addr obj = db.objects[key % db.objects.size()];
+        cpu.executeAt(10, codeBase_ + (t % 31) * basePageSize);
+        cpu.load(obj);
+        cpu.load(obj + 8);
+        cpu.load(obj + 24);
+
+        const auto action = rng.below(100);
+        if (action < config_.updatePercent) {
+            // Update in place.
+            cpu.execute(4);
+            cpu.store(obj + 8);
+            cpu.store(obj + 40);
+        } else if (action <
+                   config_.updatePercent + config_.insertPercent) {
+            // Insert: allocate a result object and link it into a
+            // leaf (transaction results keep accumulating, §3.1).
+            const Addr fresh = allocObject(sys, rng);
+            auto &leaves = db.treeLevels.back();
+            const Addr leaf = leaves[key % leaves.size()];
+            cpu.execute(6);
+            cpu.load(leaf);
+            cpu.store(leaf + 16 + (key % config_.treeFanout) * 8);
+            db.objects[key % db.objects.size()] = fresh;
+        }
+    }
+}
+
+} // namespace mtlbsim

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the per-process address space.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/address_space.hh"
+
+using namespace mtlbsim;
+
+namespace
+{
+AddressSpace
+makeSpace()
+{
+    return AddressSpace(0x00400000);
+}
+}
+
+TEST(AddressSpaceTest, RegionLookup)
+{
+    AddressSpace as = makeSpace();
+    as.addRegion("text", 0x400000, 0x10000, {false, true});
+    as.addRegion("data", 0x10000000, 0x100000, {});
+    EXPECT_EQ(as.findRegion(0x400000)->name, "text");
+    EXPECT_EQ(as.findRegion(0x10000000)->name, "data");
+    EXPECT_EQ(as.findRegion(0x500000), nullptr);
+    EXPECT_EQ(as.findRegionByName("data")->base, 0x10000000u);
+    EXPECT_EQ(as.findRegionByName("nope"), nullptr);
+}
+
+TEST(AddressSpaceTest, OverlappingRegionsRejected)
+{
+    AddressSpace as = makeSpace();
+    as.addRegion("a", 0x1000, 0x2000, {});
+    EXPECT_THROW(as.addRegion("b", 0x2000, 0x2000, {}), FatalError);
+    EXPECT_NO_THROW(as.addRegion("c", 0x3000, 0x1000, {}));
+}
+
+TEST(AddressSpaceTest, UnalignedRegionsRejected)
+{
+    AddressSpace as = makeSpace();
+    EXPECT_THROW(as.addRegion("a", 0x1001, 0x1000, {}), FatalError);
+    EXPECT_THROW(as.addRegion("a", 0x1000, 0x1001, {}), FatalError);
+    EXPECT_THROW(as.addRegion("a", 0x1000, 0, {}), FatalError);
+}
+
+TEST(AddressSpaceTest, GrowRegion)
+{
+    AddressSpace as = makeSpace();
+    as.addRegion("heap", 0x1000, 0x1000, {});
+    as.growRegion("heap", 0x3000);
+    EXPECT_TRUE(as.findRegion(0x3fff) != nullptr);
+    EXPECT_THROW(as.growRegion("heap", 0x1000), FatalError);  // shrink
+    EXPECT_THROW(as.growRegion("nope", 0x1000), FatalError);
+}
+
+TEST(AddressSpaceTest, GrowIntoNeighbourRejected)
+{
+    AddressSpace as = makeSpace();
+    as.addRegion("heap", 0x1000, 0x1000, {});
+    as.addRegion("wall", 0x4000, 0x1000, {});
+    EXPECT_THROW(as.growRegion("heap", 0x4000), FatalError);
+}
+
+TEST(AddressSpaceTest, FrameInstallAndRemove)
+{
+    AddressSpace as = makeSpace();
+    EXPECT_FALSE(as.isPagePresent(0x5000));
+    as.installFrame(0x5000, 0x1234);
+    EXPECT_TRUE(as.isPagePresent(0x5123));  // same page
+    EXPECT_EQ(as.frameOf(0x5fff), 0x1234u);
+    EXPECT_EQ(as.removeFrame(0x5000), 0x1234u);
+    EXPECT_FALSE(as.isPagePresent(0x5000));
+}
+
+TEST(AddressSpaceTest, DoubleInstallPanics)
+{
+    AddressSpace as = makeSpace();
+    as.installFrame(0x5000, 1);
+    EXPECT_THROW(as.installFrame(0x5000, 2), PanicError);
+}
+
+TEST(AddressSpaceTest, FrameOfAbsentPagePanics)
+{
+    AddressSpace as = makeSpace();
+    EXPECT_THROW(as.frameOf(0x5000), PanicError);
+    EXPECT_THROW(as.removeFrame(0x5000), PanicError);
+}
+
+TEST(AddressSpaceTest, SuperpageRecords)
+{
+    AddressSpace as = makeSpace();
+    as.addSuperpage({0x400000, 0x80000000, 4});
+    const ShadowSuperpage *sp = as.findSuperpage(0x4abcde);
+    ASSERT_NE(sp, nullptr);
+    EXPECT_EQ(sp->vbase, 0x400000u);
+    EXPECT_EQ(sp->numBasePages(), 256u);
+    EXPECT_EQ(as.findSuperpage(0x3fffff), nullptr);
+    EXPECT_EQ(as.findSuperpage(0x500000), nullptr);
+}
+
+TEST(AddressSpaceTest, AdjacentSuperpagesResolve)
+{
+    AddressSpace as = makeSpace();
+    as.addSuperpage({0x400000, 0x80000000, 4});     // 1 MB
+    as.addSuperpage({0x500000, 0x80100000, 4});     // next 1 MB
+    EXPECT_EQ(as.findSuperpage(0x4fffff)->vbase, 0x400000u);
+    EXPECT_EQ(as.findSuperpage(0x500000)->vbase, 0x500000u);
+}
+
+TEST(AddressSpaceTest, SuperpageAlignmentEnforced)
+{
+    AddressSpace as = makeSpace();
+    EXPECT_THROW(as.addSuperpage({0x401000, 0x80000000, 4}),
+                 FatalError);
+    EXPECT_THROW(as.addSuperpage({0x400000, 0x80001000, 4}),
+                 FatalError);
+}
+
+TEST(AddressSpaceTest, DuplicateSuperpagePanics)
+{
+    AddressSpace as = makeSpace();
+    as.addSuperpage({0x400000, 0x80000000, 4});
+    EXPECT_THROW(as.addSuperpage({0x400000, 0x80100000, 4}),
+                 PanicError);
+}
+
+TEST(AddressSpaceTest, RemoveSuperpage)
+{
+    AddressSpace as = makeSpace();
+    as.addSuperpage({0x400000, 0x80000000, 4});
+    as.removeSuperpage(0x400000);
+    EXPECT_EQ(as.findSuperpage(0x400000), nullptr);
+    EXPECT_THROW(as.removeSuperpage(0x400000), PanicError);
+}
+
+TEST(AddressSpaceTest, PageTableEntryAddresses)
+{
+    AddressSpace as = makeSpace();
+    // L1 entries live in the first pool page.
+    EXPECT_EQ(as.l1EntryAddr(0), 0x00400000u);
+    EXPECT_EQ(as.l1EntryAddr(0x00400000), 0x00400004u);
+    // L2 nodes are distinct per 4 MB of VA and allocated on demand.
+    const Addr l2a = as.l2EntryAddr(0x00000000);
+    const Addr l2b = as.l2EntryAddr(0x00400000);
+    EXPECT_NE(pageBase(l2a), pageBase(l2b));
+    // Same VA always maps to the same entry address.
+    EXPECT_EQ(as.l2EntryAddr(0x00000000), l2a);
+    // Adjacent pages get adjacent entries.
+    EXPECT_EQ(as.l2EntryAddr(0x00001000), l2a + 4);
+}
+
+TEST(AddressSpaceTest, PresentPageCount)
+{
+    AddressSpace as = makeSpace();
+    as.installFrame(0x1000, 1);
+    as.installFrame(0x2000, 2);
+    EXPECT_EQ(as.numPresentPages(), 2u);
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the Runway-like bus model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bus/bus.hh"
+
+using namespace mtlbsim;
+
+namespace
+{
+Bus
+makeBus(stats::StatGroup &g)
+{
+    return Bus(BusConfig{}, g);
+}
+}
+
+TEST(BusTest, ReadRequestCost)
+{
+    stats::StatGroup g("t");
+    Bus bus = makeBus(g);
+    // arb(1) + addr(1) = 2 bus cycles = 4 CPU cycles.
+    EXPECT_EQ(bus.request(BusOp::ReadShared, 0), 4u);
+}
+
+TEST(BusTest, WriteBackCarriesData)
+{
+    stats::StatGroup g("t");
+    Bus bus = makeBus(g);
+    // arb(1) + addr(1) + data(4) = 6 bus cycles = 12 CPU cycles.
+    EXPECT_EQ(bus.request(BusOp::WriteBack, 0), 12u);
+}
+
+TEST(BusTest, UncachedCarriesOneWord)
+{
+    stats::StatGroup g("t");
+    Bus bus = makeBus(g);
+    EXPECT_EQ(bus.request(BusOp::Uncached, 0), 6u);
+}
+
+TEST(BusTest, DataReturnCost)
+{
+    stats::StatGroup g("t");
+    Bus bus = makeBus(g);
+    EXPECT_EQ(bus.dataReturn(0), 8u);
+}
+
+TEST(BusTest, BackToBackRequestsQueue)
+{
+    stats::StatGroup g("t");
+    Bus bus = makeBus(g);
+    EXPECT_EQ(bus.request(BusOp::ReadShared, 0), 4u);
+    // Second request at time 0 must wait for the first to clear.
+    EXPECT_EQ(bus.request(BusOp::ReadShared, 0), 8u);
+}
+
+TEST(BusTest, NoQueueingWhenIdle)
+{
+    stats::StatGroup g("t");
+    Bus bus = makeBus(g);
+    bus.request(BusOp::ReadShared, 0);
+    // By cycle 100 the bus is long idle.
+    EXPECT_EQ(bus.request(BusOp::ReadShared, 100), 4u);
+}
+
+TEST(BusTest, PartialOverlapQueuesPartially)
+{
+    stats::StatGroup g("t");
+    Bus bus = makeBus(g);
+    bus.request(BusOp::ReadShared, 0);      // busy until 4
+    EXPECT_EQ(bus.request(BusOp::ReadShared, 2), 2u + 4u);
+}
+
+TEST(BusTest, ReadExclusiveSameCostAsShared)
+{
+    stats::StatGroup g("t");
+    Bus bus = makeBus(g);
+    const Cycles shared = bus.request(BusOp::ReadShared, 100);
+    const Cycles exclusive = bus.request(BusOp::ReadExclusive, 200);
+    EXPECT_EQ(shared, exclusive);
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the CPU timing model (built on a full System so the
+ * trap path is genuine).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+
+using namespace mtlbsim;
+
+namespace
+{
+
+constexpr Addr MB = 1024 * 1024;
+
+SystemConfig
+smallConfig(bool mtlb = true)
+{
+    SystemConfig c;
+    c.installedBytes = 64 * MB;
+    c.mtlbEnabled = mtlb;
+    return c;
+}
+
+void
+addData(System &sys, Addr base = 0x10000000, Addr size = 16 * MB)
+{
+    sys.kernel().addressSpace().addRegion("data", base, size, {});
+}
+
+} // namespace
+
+TEST(CpuTest, ExecuteAdvancesOneCyclePerInstruction)
+{
+    System sys(smallConfig());
+    sys.cpu().execute(100);
+    EXPECT_EQ(sys.cpu().now(), 100u);
+    EXPECT_EQ(sys.cpu().instructions(), 100u);
+}
+
+TEST(CpuTest, FirstLoadTrapsAndFills)
+{
+    System sys(smallConfig());
+    addData(sys);
+    sys.cpu().load(0x10000000);
+    EXPECT_GT(sys.cpu().now(), 0u);
+    EXPECT_EQ(sys.tlb().misses(), 1u);
+    EXPECT_GT(sys.tlbMissCycles(), 0u);
+}
+
+TEST(CpuTest, SecondLoadSamePageNoTrap)
+{
+    System sys(smallConfig());
+    addData(sys);
+    sys.cpu().load(0x10000000);
+    const Cycles miss_cycles = sys.tlbMissCycles();
+    sys.cpu().load(0x10000100);
+    EXPECT_EQ(sys.tlbMissCycles(), miss_cycles);
+}
+
+TEST(CpuTest, CachedLoadCostsOneCycle)
+{
+    System sys(smallConfig());
+    addData(sys);
+    sys.cpu().load(0x10000000);     // trap + miss
+    const Cycles before = sys.cpu().now();
+    sys.cpu().load(0x10000000);     // hot
+    EXPECT_EQ(sys.cpu().now(), before + 1);
+}
+
+TEST(CpuTest, StoreBufferHidesStoreMissLatency)
+{
+    SystemConfig config = smallConfig();
+    config.cpu.storeBuffer = true;
+    System sys(config);
+    addData(sys);
+    // Prime the TLB/page.
+    sys.cpu().load(0x10000000);
+    sys.cpu().load(0x10008000);
+
+    // A store miss should charge ~1 cycle, not the full fill.
+    const Cycles before = sys.cpu().now();
+    sys.cpu().store(0x10000400);    // cold line, same page
+    const Cycles charged = sys.cpu().now() - before;
+    EXPECT_LE(charged, 2u);
+}
+
+TEST(CpuTest, SecondStoreMissStallsOnBusyBuffer)
+{
+    SystemConfig config = smallConfig();
+    config.cpu.storeBuffer = true;
+    System sys(config);
+    addData(sys);
+    sys.cpu().load(0x10000000);
+
+    sys.cpu().store(0x10000400);
+    const Cycles before = sys.cpu().now();
+    sys.cpu().store(0x10000800);    // buffer still draining
+    EXPECT_GT(sys.cpu().now() - before, 2u);
+}
+
+TEST(CpuTest, BlockingStoresWithoutBuffer)
+{
+    SystemConfig config = smallConfig();
+    config.cpu.storeBuffer = false;
+    System sys(config);
+    addData(sys);
+    sys.cpu().load(0x10000000);
+    const Cycles before = sys.cpu().now();
+    sys.cpu().store(0x10000400);
+    EXPECT_GT(sys.cpu().now() - before, 10u);
+}
+
+TEST(CpuTest, LoadUseOverlapHidesLatency)
+{
+    SystemConfig blocking = smallConfig();
+    blocking.cpu.loadUseOverlap = 0;
+    SystemConfig overlapped = smallConfig();
+    overlapped.cpu.loadUseOverlap = 8;
+
+    System a(blocking), b(overlapped);
+    addData(a);
+    addData(b);
+    a.cpu().load(0x10000000);
+    b.cpu().load(0x10000000);
+    const Cycles ta = a.cpu().now();
+    const Cycles tb = b.cpu().now();
+    a.cpu().load(0x10000800);   // cold line
+    b.cpu().load(0x10000800);
+    EXPECT_GT(a.cpu().now() - ta, b.cpu().now() - tb);
+}
+
+TEST(CpuTest, ExecuteAtChecksMicroItlb)
+{
+    System sys(smallConfig());
+    sys.kernel().addressSpace().addRegion("text", 0x400000, 64 * 1024,
+                                          {false, true});
+    sys.cpu().executeAt(10, 0x400000);
+    // First fetch missed the micro-ITLB and trapped the unified TLB.
+    EXPECT_EQ(sys.tlb().misses(), 1u);
+    sys.cpu().executeAt(10, 0x400100);
+    // Same page: micro-ITLB hit, no new unified lookup.
+    EXPECT_EQ(sys.tlb().misses(), 1u);
+    EXPECT_EQ(sys.cpu().instructions(), 20u);
+}
+
+TEST(CpuTest, CodePageChangeRefillsMicroItlb)
+{
+    System sys(smallConfig());
+    sys.kernel().addressSpace().addRegion("text", 0x400000, 64 * 1024,
+                                          {false, true});
+    sys.cpu().executeAt(10, 0x400000);
+    sys.cpu().executeAt(10, 0x401000);  // next page
+    EXPECT_EQ(sys.tlb().misses(), 2u);
+    // Returning to the first page: unified TLB still holds it.
+    sys.cpu().executeAt(10, 0x400000);
+    EXPECT_EQ(sys.tlb().misses(), 2u);
+}
+
+TEST(CpuTest, RemapWrapperAdvancesClock)
+{
+    System sys(smallConfig());
+    addData(sys);
+    const Cycles before = sys.cpu().now();
+    sys.cpu().remap(0x10000000, 64 * 1024);
+    EXPECT_GT(sys.cpu().now(), before);
+}
+
+TEST(CpuTest, SbrkWrapperReturnsOldBreak)
+{
+    System sys(smallConfig());
+    sys.kernel().initHeap(0x20000000, 32 * MB);
+    EXPECT_EQ(sys.cpu().sbrk(100), 0x20000000u);
+    EXPECT_EQ(sys.cpu().sbrk(100), 0x20000000u + 100);
+}
+
+TEST(CpuTest, FaultedFillRetriesAfterReload)
+{
+    System sys(smallConfig());
+    addData(sys);
+    sys.cpu().remap(0x10000000, 16 * 1024);
+    sys.cpu().load(0x10000000);     // establish mappings
+    sys.kernel().swapOutSuperpagePagewise(0x10000000, sys.cpu().now());
+
+    const auto swapped_in_before =
+        sys.kernel().addressSpace().isPagePresent(0x10000000);
+    EXPECT_FALSE(swapped_in_before);
+
+    // This access faults at the MMC, reloads, and retries — it must
+    // complete and leave the page resident.
+    sys.cpu().load(0x10000000);
+    EXPECT_TRUE(sys.kernel().addressSpace().isPagePresent(0x10000000));
+}

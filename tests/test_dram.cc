@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the DRAM timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+using namespace mtlbsim;
+
+namespace
+{
+DramConfig
+smallConfig()
+{
+    DramConfig c;
+    c.numBanks = 2;
+    c.rowBytes = 4096;
+    c.rowHitMmcCycles = 4;
+    c.rowMissMmcCycles = 8;
+    c.burstMmcCycles = 4;
+    return c;
+}
+}
+
+TEST(DramTest, FirstAccessIsRowMiss)
+{
+    stats::StatGroup g("t");
+    Dram dram(smallConfig(), g);
+    EXPECT_EQ(dram.access(0x1000, false), 8u);
+}
+
+TEST(DramTest, SecondAccessSameRowIsHit)
+{
+    stats::StatGroup g("t");
+    Dram dram(smallConfig(), g);
+    dram.access(0x1000, false);
+    EXPECT_EQ(dram.access(0x1040, false), 4u);
+}
+
+TEST(DramTest, DifferentRowSameBankMisses)
+{
+    stats::StatGroup g("t");
+    Dram dram(smallConfig(), g);
+    dram.access(0x0000, false);
+    // With 2 banks and 4 KB rows, +8 KB is the same bank, next row.
+    EXPECT_EQ(dram.access(0x4000, false), 8u);
+}
+
+TEST(DramTest, BanksTrackRowsIndependently)
+{
+    stats::StatGroup g("t");
+    Dram dram(smallConfig(), g);
+    dram.access(0x0000, false);     // bank 0
+    dram.access(0x1000, false);     // bank 1
+    // Both rows are still open.
+    EXPECT_EQ(dram.access(0x0040, false), 4u);
+    EXPECT_EQ(dram.access(0x1040, false), 4u);
+}
+
+TEST(DramTest, LineFillAddsBurst)
+{
+    stats::StatGroup g("t");
+    Dram dram(smallConfig(), g);
+    EXPECT_EQ(dram.access(0x2000, true), 8u + 4u);
+    EXPECT_EQ(dram.access(0x2020, true), 4u + 4u);
+}
+
+TEST(DramTest, TableReadEqualsNonBurstAccess)
+{
+    stats::StatGroup g("t");
+    Dram a(smallConfig(), g), b(smallConfig(), g);
+    EXPECT_EQ(a.tableRead(0x3000), b.access(0x3000, false));
+}
+
+TEST(DramTest, RejectsBadGeometry)
+{
+    stats::StatGroup g("t");
+    DramConfig c = smallConfig();
+    c.numBanks = 3;
+    EXPECT_THROW(Dram(c, g), FatalError);
+    c = smallConfig();
+    c.rowHitMmcCycles = 0;
+    EXPECT_THROW(Dram(c, g), FatalError);
+}
+
+TEST(DramTest, DefaultConfigIsSane)
+{
+    stats::StatGroup g("t");
+    Dram dram(DramConfig{}, g);
+    const Cycles miss = dram.access(0x100000, true);
+    const Cycles hit = dram.access(0x100020, true);
+    EXPECT_GT(miss, hit);
+}

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Tests for the §4/§6 shadow-memory extensions: the single-page
+ * shadow pool, no-copy page recoloring, and all-shadow operation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "mmc/memsys.hh"
+#include "os/shadow_page_pool.hh"
+#include "sim/system.hh"
+
+using namespace mtlbsim;
+
+namespace
+{
+
+constexpr Addr MB = 1024 * 1024;
+
+SystemConfig
+physIndexedConfig(bool all_shadow = false)
+{
+    SystemConfig c;
+    c.installedBytes = 64 * MB;
+    c.cache.virtuallyIndexed = false;   // recoloring's habitat
+    c.kernel.allShadowMode = all_shadow;
+    return c;
+}
+
+} // namespace
+
+/* ------------------------------------------------------------------ */
+/* ShadowPagePool                                                      */
+/* ------------------------------------------------------------------ */
+
+TEST(ShadowPagePool, AllocatesAlignedUniquePages)
+{
+    BuddyShadowAllocator backing({0x80000000, 64 * MB});
+    ShadowPagePool pool(backing, 128);
+    std::set<Addr> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto p = pool.allocate();
+        ASSERT_TRUE(p.has_value());
+        EXPECT_EQ(*p & basePageMask, 0u);
+        EXPECT_TRUE(seen.insert(*p).second);
+    }
+}
+
+TEST(ShadowPagePool, ColoredAllocationHasRequestedColor)
+{
+    BuddyShadowAllocator backing({0x80000000, 64 * MB});
+    ShadowPagePool pool(backing, 128);
+    for (unsigned color : {0u, 1u, 63u, 127u}) {
+        const auto p = pool.allocateColored(color);
+        ASSERT_TRUE(p.has_value());
+        EXPECT_EQ(pool.colorOf(*p), color);
+    }
+}
+
+TEST(ShadowPagePool, FreeRecyclesIntoColorBucket)
+{
+    BuddyShadowAllocator backing({0x80000000, 64 * MB});
+    ShadowPagePool pool(backing, 128);
+    const auto p = pool.allocateColored(5);
+    const auto before = pool.numFree();
+    pool.free(*p);
+    EXPECT_EQ(pool.numFree(), before + 1);
+    // The freed page is available for its color again.
+    bool found = false;
+    for (std::size_t i = 0; i <= before + 1 && !found; ++i) {
+        auto q = pool.allocateColored(5);
+        if (!q)
+            break;
+        found = (*q == *p);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ShadowPagePool, ExhaustionReturnsNullopt)
+{
+    // Backing of exactly one refill block (1 MB = 256 pages).
+    BuddyShadowAllocator backing({0x80000000, 16 * MB});
+    ShadowPagePool pool(backing, 128);
+    unsigned count = 0;
+    while (pool.allocate())
+        ++count;
+    EXPECT_EQ(count, 16u * 256);    // whole region consumable
+    EXPECT_FALSE(pool.allocateColored(3).has_value());
+}
+
+TEST(ShadowPagePool, RejectsBadGeometry)
+{
+    BuddyShadowAllocator backing({0x80000000, 16 * MB});
+    EXPECT_THROW(ShadowPagePool(backing, 100), FatalError);  // !pow2
+    EXPECT_THROW(ShadowPagePool(backing, 512), FatalError);  // > block
+}
+
+/* ------------------------------------------------------------------ */
+/* Page recoloring (§6)                                                */
+/* ------------------------------------------------------------------ */
+
+TEST(Recoloring, ChangesTheColorWithoutCopy)
+{
+    System sys(physIndexedConfig());
+    auto &as = sys.kernel().addressSpace();
+    as.addRegion("data", 0x10000000, MB, {});
+
+    sys.cpu().load(0x10000000);     // materialise
+    const Addr pfn = as.frameOf(0x10000000);
+    const unsigned old_color = sys.kernel().colorOf(0x10000000);
+    const unsigned new_color = (old_color + 37) % 128;
+
+    sys.kernel().recolorPage(0x10000000, new_color, sys.cpu().now());
+    EXPECT_EQ(sys.kernel().colorOf(0x10000000), new_color);
+    // No copy: the same real frame still backs the page.
+    EXPECT_EQ(as.frameOf(0x10000000), pfn);
+}
+
+TEST(Recoloring, AccessesStillReachTheSameFrame)
+{
+    System sys(physIndexedConfig());
+    auto &as = sys.kernel().addressSpace();
+    as.addRegion("data", 0x10000000, MB, {});
+    sys.cpu().load(0x10000000);
+    const Addr pfn = as.frameOf(0x10000000);
+
+    sys.kernel().recolorPage(0x10000000, 9, sys.cpu().now());
+
+    // Translate through TLB + MTLB and confirm the real target.
+    sys.kernel().handleTlbMiss(0x10000040, AccessType::Read,
+                               sys.cpu().now());
+    const auto tr = sys.tlb().lookup(0x10000040, AccessType::Read,
+                                     AccessMode::User);
+    ASSERT_TRUE(tr.hit);
+    const auto mr =
+        sys.memsys().mmc().service(MmcOp::SharedFill, tr.paddr);
+    ASSERT_FALSE(mr.fault);
+    EXPECT_EQ(mr.realAddr >> basePageShift, pfn);
+}
+
+TEST(Recoloring, RecolorTwiceFreesTheFirstShadowPage)
+{
+    System sys(physIndexedConfig());
+    auto &as = sys.kernel().addressSpace();
+    as.addRegion("data", 0x10000000, MB, {});
+    sys.cpu().load(0x10000000);
+
+    sys.kernel().recolorPage(0x10000000, 3, sys.cpu().now());
+    const Addr first = as.findSuperpage(0x10000000)->shadowBase;
+    sys.kernel().recolorPage(0x10000000, 4, sys.cpu().now());
+    const Addr second = as.findSuperpage(0x10000000)->shadowBase;
+    EXPECT_NE(first, second);
+    EXPECT_EQ(sys.kernel().colorOf(0x10000000), 4u);
+}
+
+TEST(Recoloring, EliminatesConflictMisses)
+{
+    // Two hot pages whose frames collide in the physically indexed
+    // cache thrash each other; recoloring one ends the conflict
+    // without any copying — the Bershad-style use case §6 names.
+    System sys(physIndexedConfig());
+    auto &as = sys.kernel().addressSpace();
+    as.addRegion("data", 0x10000000, 16 * MB, {});
+
+    // Find two virtual pages with the same frame color.
+    sys.cpu().load(0x10000000);
+    const unsigned color_a = sys.kernel().colorOf(0x10000000);
+    Addr conflicting = 0;
+    for (Addr off = basePageSize; off < 16 * MB; off += basePageSize) {
+        sys.cpu().load(0x10000000 + off);
+        if (sys.kernel().colorOf(0x10000000 + off) == color_a) {
+            conflicting = 0x10000000 + off;
+            break;
+        }
+    }
+    ASSERT_NE(conflicting, 0u) << "no colliding frame found";
+
+    auto thrash = [&](unsigned reps) {
+        const auto misses_before = sys.cache().misses();
+        for (unsigned i = 0; i < reps; ++i) {
+            sys.cpu().load(0x10000000 + (i % 32) * 32);
+            sys.cpu().load(conflicting + (i % 32) * 32);
+        }
+        return sys.cache().misses() - misses_before;
+    };
+
+    const auto misses_conflicting = thrash(2000);
+
+    // Recolor the second page away from the conflict.
+    sys.kernel().recolorPage(conflicting, (color_a + 1) % 128,
+                             sys.cpu().now());
+    const auto misses_fixed = thrash(2000);
+
+    EXPECT_GT(misses_conflicting, 3500u);   // ping-pong: ~every access
+    EXPECT_LT(misses_fixed, 200u);          // steady state: all hits
+}
+
+TEST(Recoloring, RequiresMtlb)
+{
+    SystemConfig c = physIndexedConfig();
+    c.mtlbEnabled = false;
+    System sys(c);
+    sys.kernel().addressSpace().addRegion("data", 0x10000000, MB, {});
+    sys.cpu().load(0x10000000);
+    EXPECT_THROW(
+        sys.kernel().recolorPage(0x10000000, 1, sys.cpu().now()),
+        FatalError);
+}
+
+TEST(Recoloring, InsideRealSuperpageIsFatal)
+{
+    System sys(physIndexedConfig());
+    sys.kernel().addressSpace().addRegion("data", 0x10000000, MB, {});
+    sys.cpu().remap(0x10000000, 64 * 1024);
+    EXPECT_THROW(
+        sys.kernel().recolorPage(0x10000000, 1, sys.cpu().now()),
+        FatalError);
+}
+
+/* ------------------------------------------------------------------ */
+/* All-shadow mode (§4)                                                */
+/* ------------------------------------------------------------------ */
+
+TEST(AllShadow, EveryPageMapsThroughShadowSpace)
+{
+    System sys(physIndexedConfig(true));
+    auto &as = sys.kernel().addressSpace();
+    as.addRegion("data", 0x10000000, MB, {});
+
+    for (Addr off = 0; off < 8 * basePageSize; off += basePageSize)
+        sys.cpu().load(0x10000000 + off);
+
+    // Each touched page has a single-page shadow mapping, and the
+    // TLB entry points into shadow space.
+    for (Addr off = 0; off < 8 * basePageSize; off += basePageSize) {
+        const ShadowSuperpage *sp =
+            as.findSuperpage(0x10000000 + off);
+        ASSERT_NE(sp, nullptr);
+        EXPECT_EQ(sp->sizeClass, 0u);
+        const auto entry = sys.tlb().probe(0x10000000 + off);
+        ASSERT_TRUE(entry.has_value());
+        EXPECT_EQ(sys.physmap().classify(entry->pbase),
+                  AddrKind::Shadow);
+    }
+}
+
+TEST(AllShadow, ValuesStillReachTheRightFrames)
+{
+    System sys(physIndexedConfig(true));
+    auto &as = sys.kernel().addressSpace();
+    as.addRegion("data", 0x10000000, MB, {});
+    sys.cpu().store(0x10000000);
+    const Addr pfn = as.frameOf(0x10000000);
+
+    const auto tr = sys.tlb().lookup(0x10000000, AccessType::Read,
+                                     AccessMode::User);
+    ASSERT_TRUE(tr.hit);
+    const auto mr =
+        sys.memsys().mmc().service(MmcOp::SharedFill, tr.paddr);
+    EXPECT_EQ(mr.realAddr >> basePageShift, pfn);
+}
+
+TEST(AllShadow, RemapPromotesSinglePagesToSuperpages)
+{
+    System sys(physIndexedConfig(true));
+    auto &as = sys.kernel().addressSpace();
+    as.addRegion("data", 0x10000000, MB, {});
+
+    // Touch pages so they acquire single-page shadow mappings.
+    for (Addr off = 0; off < 16 * basePageSize; off += basePageSize)
+        sys.cpu().load(0x10000000 + off);
+
+    sys.cpu().remap(0x10000000, 64 * 1024);
+
+    const ShadowSuperpage *sp = as.findSuperpage(0x10000000);
+    ASSERT_NE(sp, nullptr);
+    EXPECT_EQ(sp->sizeClass, 2u);   // one 64 KB superpage
+    // And the mapping still resolves correctly end to end.
+    sys.cpu().load(0x10000000 + 5 * basePageSize);
+}
+
+TEST(AllShadow, RunsAWholeWorkloadSlice)
+{
+    // All-shadow mode must survive a real workload's full lifecycle.
+    System sys(physIndexedConfig(true));
+    auto run = [&] {
+        Random rng(5);
+        auto &as = sys.kernel().addressSpace();
+        as.addRegion("data", 0x10000000, 4 * MB, {});
+        for (int i = 0; i < 30'000; ++i) {
+            sys.cpu().execute(3);
+            const Addr a =
+                0x10000000 + (rng.below(4 * MB) & ~Addr{7});
+            if (rng.chance(1, 4))
+                sys.cpu().store(a);
+            else
+                sys.cpu().load(a);
+        }
+    };
+    EXPECT_NO_THROW(run());
+    EXPECT_GT(sys.totalCycles(), 0u);
+}
+
+TEST(AllShadow, CostsMoreThanMixedMode)
+{
+    // §4 predicts a heavier MTLB load in all-shadow operation; the
+    // same access pattern must never get *cheaper* by forcing every
+    // access through the MTLB.
+    auto run = [&](bool all_shadow) {
+        System sys(physIndexedConfig(all_shadow));
+        sys.kernel().addressSpace().addRegion("data", 0x10000000,
+                                              4 * MB, {});
+        Random rng(6);
+        for (int i = 0; i < 30'000; ++i) {
+            sys.cpu().execute(3);
+            sys.cpu().load(0x10000000 +
+                           (rng.below(4 * MB) & ~Addr{7}));
+        }
+        return sys.totalCycles();
+    };
+    EXPECT_GE(run(true), run(false));
+}
+
+/* ------------------------------------------------------------------ */
+/* CLOCK daemon over MTLB reference bits (§2.5)                        */
+/* ------------------------------------------------------------------ */
+
+#include "os/clock_daemon.hh"
+
+TEST(ClockDaemon, TouchedPagesWithFillsAreNotIdle)
+{
+    SystemConfig config;
+    config.installedBytes = 64 * MB;
+    System sys(config);
+    auto &as = sys.kernel().addressSpace();
+    as.addRegion("data", 0x10000000, MB, {});
+    sys.cpu().remap(0x10000000, 64 * 1024);
+
+    ClockDaemon daemon(as, sys.memsys(), sys.physmap());
+    daemon.watch(0x10000000);
+    EXPECT_EQ(daemon.numWatched(), 16u);
+
+    // Touch half the pages (cold lines: the fills reach the MMC).
+    for (unsigned p = 0; p < 8; ++p)
+        sys.cpu().load(0x10000000 + p * basePageSize);
+
+    const auto sweep = daemon.sweep(sys.cpu().now());
+    EXPECT_EQ(sweep.idle.size(), 8u);
+    for (const Addr va : sweep.idle)
+        EXPECT_GE(va, 0x10000000u + 8 * basePageSize);
+    EXPECT_GT(sweep.cycles, 0u);
+}
+
+TEST(ClockDaemon, SweepClearsBitsForTheNextInterval)
+{
+    SystemConfig config;
+    config.installedBytes = 64 * MB;
+    System sys(config);
+    auto &as = sys.kernel().addressSpace();
+    as.addRegion("data", 0x10000000, MB, {});
+    sys.cpu().remap(0x10000000, 64 * 1024);
+
+    ClockDaemon daemon(as, sys.memsys(), sys.physmap());
+    daemon.watch(0x10000000);
+
+    for (unsigned p = 0; p < 16; ++p)
+        sys.cpu().load(0x10000000 + p * basePageSize);
+    EXPECT_TRUE(daemon.sweep(sys.cpu().now()).idle.empty());
+    // No touches since the sweep: everything now reads idle.
+    EXPECT_EQ(daemon.sweep(sys.cpu().now()).idle.size(), 16u);
+}
+
+TEST(ClockDaemon, CachedReferencesAreInvisible)
+{
+    // The §2.5 caveat itself: a page re-touched only through cache
+    // hits generates no fills, so the MTLB's bit stays clear.
+    SystemConfig config;
+    config.installedBytes = 64 * MB;
+    System sys(config);
+    auto &as = sys.kernel().addressSpace();
+    as.addRegion("data", 0x10000000, MB, {});
+    sys.cpu().remap(0x10000000, 16 * 1024);
+
+    ClockDaemon daemon(as, sys.memsys(), sys.physmap());
+    daemon.watch(0x10000000);
+
+    sys.cpu().load(0x10000000);     // fill: bit set
+    daemon.sweep(sys.cpu().now());  // bit cleared
+    sys.cpu().load(0x10000000);     // cache hit: MMC sees nothing
+    const auto sweep = daemon.sweep(sys.cpu().now());
+    EXPECT_EQ(std::count(sweep.idle.begin(), sweep.idle.end(),
+                         Addr{0x10000000}),
+              1)
+        << "an active-but-cached page should (wrongly) look idle";
+}

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the hashed page table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "os/hpt.hh"
+
+using namespace mtlbsim;
+
+namespace
+{
+VmMapping
+basePage(Addr vbase, Addr pbase)
+{
+    return {vbase, pbase, 0, PageProtection{}};
+}
+}
+
+TEST(HptTest, LookupMissOnEmptyTouchesOneSlot)
+{
+    Hpt hpt(0x10000, 1024);
+    const auto r = hpt.lookup(0x5000);
+    EXPECT_FALSE(r.mapping.has_value());
+    // The handler reads the (empty) head slot of the hashed bucket.
+    EXPECT_EQ(r.probeAddrs.size(), 1u);
+}
+
+TEST(HptTest, InsertThenLookup)
+{
+    Hpt hpt(0x10000, 1024);
+    hpt.insert(basePage(0x5000, 0x9000));
+    const auto r = hpt.lookup(0x5123);
+    ASSERT_TRUE(r.mapping.has_value());
+    EXPECT_EQ(r.mapping->pbase, 0x9000u);
+    EXPECT_EQ(r.probeAddrs.size(), 1u);
+}
+
+TEST(HptTest, ProbeAddressesAreInTable)
+{
+    Hpt hpt(0x10000, 1024);
+    hpt.insert(basePage(0x5000, 0x9000));
+    const auto r = hpt.lookup(0x5000);
+    ASSERT_EQ(r.probeAddrs.size(), 1u);
+    EXPECT_GE(r.probeAddrs[0], hpt.tableBase());
+    EXPECT_LT(r.probeAddrs[0], hpt.tableBase() + hpt.tableBytes());
+}
+
+TEST(HptTest, MissOnPopulatedTableStillProbes)
+{
+    Hpt hpt(0x10000, 1024);
+    hpt.insert(basePage(0x5000, 0x9000));
+    const auto r = hpt.lookup(0x777000);
+    EXPECT_FALSE(r.mapping.has_value());
+    EXPECT_GE(r.probeAddrs.size(), 1u);
+}
+
+TEST(HptTest, SuperpageMappingFound)
+{
+    Hpt hpt(0x10000, 1024);
+    hpt.insert({0x400000, 0x80000000, 4, PageProtection{}});  // 1 MB
+    const auto r = hpt.lookup(0x4abcde);
+    ASSERT_TRUE(r.mapping.has_value());
+    EXPECT_EQ(r.mapping->sizeClass, 4u);
+    EXPECT_EQ(r.mapping->vbase, 0x400000u);
+}
+
+TEST(HptTest, SuperpageIsReplicatedPerBasePage)
+{
+    // PA-RISC base-grain hashing: a 1 MB superpage occupies 256
+    // entries, one per base page, each returning the full mapping.
+    Hpt hpt(0x10000, 1024);
+    hpt.insert({0x400000, 0x80000000, 4, PageProtection{}});
+    EXPECT_EQ(hpt.size(), 256u);
+    for (Addr off : {Addr{0}, Addr{0x1000}, Addr{0xff000}}) {
+        const auto r = hpt.lookup(0x400000 + off);
+        ASSERT_TRUE(r.mapping.has_value()) << off;
+        EXPECT_EQ(r.mapping->vbase, 0x400000u);
+        EXPECT_EQ(r.mapping->sizeClass, 4u);
+    }
+}
+
+TEST(HptTest, LookupIsSingleHashRegardlessOfPageSizes)
+{
+    // The handler's cost does not grow when superpages coexist with
+    // base pages: one hash, one (short) chain walk.
+    Hpt hpt(0x10000, 1024);
+    hpt.insert(basePage(0x5000, 0x9000));
+    hpt.insert({0x400000, 0x80000000, 4, PageProtection{}});
+    const auto sp = hpt.lookup(0x400123);
+    ASSERT_TRUE(sp.mapping.has_value());
+    EXPECT_EQ(sp.probeAddrs.size(), 1u);
+    const auto bp = hpt.lookup(0x5000);
+    ASSERT_TRUE(bp.mapping.has_value());
+    EXPECT_EQ(bp.probeAddrs.size(), 1u);
+}
+
+TEST(HptTest, InsertBasePageReplicaAddsOneEntry)
+{
+    Hpt hpt(0x10000, 1024);
+    const VmMapping sp{0x400000, 0x80000000, 1, PageProtection{}};
+    hpt.insertBasePageReplica(sp, 0x401000);
+    EXPECT_EQ(hpt.size(), 1u);
+    EXPECT_TRUE(hpt.lookup(0x401000).mapping.has_value());
+    EXPECT_FALSE(hpt.lookup(0x400000).mapping.has_value());
+    EXPECT_THROW(hpt.insertBasePageReplica(sp, 0x404000), FatalError);
+}
+
+TEST(HptTest, CollisionChainsProbeInOrder)
+{
+    // A 1-bucket table forces every entry into one chain.
+    Hpt hpt(0x10000, 1);
+    hpt.insert(basePage(0x1000, 0x1000));
+    hpt.insert(basePage(0x2000, 0x2000));
+    hpt.insert(basePage(0x3000, 0x3000));
+    const auto r = hpt.lookup(0x3000);
+    ASSERT_TRUE(r.mapping.has_value());
+    EXPECT_EQ(r.probeAddrs.size(), 3u);
+    // Chain entries live at distinct addresses.
+    std::set<Addr> unique(r.probeAddrs.begin(), r.probeAddrs.end());
+    EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(HptTest, OverflowEntriesLiveBeyondMainTable)
+{
+    Hpt hpt(0x10000, 1);
+    hpt.insert(basePage(0x1000, 0x1000));
+    hpt.insert(basePage(0x2000, 0x2000));
+    const auto r = hpt.lookup(0x2000);
+    ASSERT_EQ(r.probeAddrs.size(), 2u);
+    EXPECT_LT(r.probeAddrs[0], hpt.tableBase() + hpt.tableBytes());
+    EXPECT_GE(r.probeAddrs[1], hpt.tableBase() + hpt.tableBytes());
+}
+
+TEST(HptTest, RemoveDropsMapping)
+{
+    Hpt hpt(0x10000, 1024);
+    hpt.insert(basePage(0x5000, 0x9000));
+    hpt.remove(0x5000, 0);
+    EXPECT_FALSE(hpt.lookup(0x5000).mapping.has_value());
+}
+
+TEST(HptTest, RemoveFromChainKeepsOthers)
+{
+    Hpt hpt(0x10000, 1);
+    hpt.insert(basePage(0x1000, 0x1000));
+    hpt.insert(basePage(0x2000, 0x2000));
+    hpt.insert(basePage(0x3000, 0x3000));
+    hpt.remove(0x2000, 0);
+    EXPECT_TRUE(hpt.lookup(0x1000).mapping.has_value());
+    EXPECT_FALSE(hpt.lookup(0x2000).mapping.has_value());
+    EXPECT_TRUE(hpt.lookup(0x3000).mapping.has_value());
+}
+
+TEST(HptTest, RemoveHeadPromotesNextIntoFixedSlot)
+{
+    Hpt hpt(0x10000, 1);
+    hpt.insert(basePage(0x1000, 0x1000));
+    hpt.insert(basePage(0x2000, 0x2000));
+    hpt.remove(0x1000, 0);
+    const auto r = hpt.lookup(0x2000);
+    ASSERT_TRUE(r.mapping.has_value());
+    // The survivor now occupies the in-table head slot.
+    EXPECT_EQ(r.probeAddrs.size(), 1u);
+    EXPECT_LT(r.probeAddrs[0], hpt.tableBase() + hpt.tableBytes());
+}
+
+TEST(HptTest, ReinsertReplacesInPlace)
+{
+    Hpt hpt(0x10000, 1024);
+    hpt.insert(basePage(0x5000, 0x9000));
+    hpt.insert(basePage(0x5000, 0xa000));
+    const auto r = hpt.lookup(0x5000);
+    ASSERT_TRUE(r.mapping.has_value());
+    EXPECT_EQ(r.mapping->pbase, 0xa000u);
+    EXPECT_EQ(r.probeAddrs.size(), 1u);     // no chain growth
+}
+
+TEST(HptTest, SuperpageRemovalDropsAllReplicas)
+{
+    Hpt hpt(0x10000, 1024);
+    hpt.insert(basePage(0x5000, 0x9000));
+    hpt.insert({0x400000, 0x80000000, 4, PageProtection{}});
+    hpt.remove(0x400000, 4);
+    EXPECT_EQ(hpt.size(), 1u);
+    EXPECT_FALSE(hpt.lookup(0x400000).mapping.has_value());
+    EXPECT_FALSE(hpt.lookup(0x4ff000).mapping.has_value());
+    EXPECT_TRUE(hpt.lookup(0x5000).mapping.has_value());
+}
+
+TEST(HptTest, InsertRejectsMisalignedSuperpage)
+{
+    Hpt hpt(0x10000, 1024);
+    EXPECT_THROW(hpt.insert({0x5000, 0x80000000, 1, PageProtection{}}),
+                 FatalError);
+}
+
+TEST(HptTest, PaperGeometry)
+{
+    // §3.2: 16 K entries of 16 bytes = 256 KB.
+    Hpt hpt(0x00200000, 16384);
+    EXPECT_EQ(hpt.tableBytes(), 256u * 1024);
+}
+
+TEST(HptTest, RejectsNonPow2Buckets)
+{
+    EXPECT_THROW(Hpt(0x10000, 1000), FatalError);
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Cross-feature integration tests: the §4/§6 extensions interacting
+ * with each other and with the core §2 mechanisms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "mmc/memsys.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+using namespace mtlbsim;
+
+namespace
+{
+constexpr Addr MB = 1024 * 1024;
+}
+
+TEST(Integration, RecoloredPageSwapsOutPagewise)
+{
+    // A recolored page is a single-page shadow mapping; the §2.5
+    // paging machinery must handle it like any other superpage.
+    SystemConfig config;
+    config.installedBytes = 64 * MB;
+    config.cache.virtuallyIndexed = false;
+    System sys(config);
+    sys.kernel().addressSpace().addRegion("data", 0x10000000, MB, {});
+
+    sys.cpu().store(0x10000000);    // materialise + dirty
+    sys.kernel().recolorPage(0x10000000, 7, sys.cpu().now());
+    sys.cpu().store(0x10000040);    // dirty through the shadow map
+
+    const auto r =
+        sys.kernel().swapOutSuperpagePagewise(0x10000000,
+                                              sys.cpu().now());
+    EXPECT_EQ(r.pagesWritten, 1u);
+    EXPECT_FALSE(
+        sys.kernel().addressSpace().isPagePresent(0x10000000));
+
+    // Fault it back in through the precise-exception path.
+    sys.cpu().load(0x10000000);
+    EXPECT_TRUE(
+        sys.kernel().addressSpace().isPagePresent(0x10000000));
+    // The recolor survives the round trip.
+    EXPECT_EQ(sys.kernel().colorOf(0x10000000), 7u);
+}
+
+TEST(Integration, AllShadowPlusOnlinePromotion)
+{
+    // All-shadow single pages must merge into genuine superpages
+    // when the promotion policy fires.
+    SystemConfig config;
+    config.installedBytes = 64 * MB;
+    config.kernel.allShadowMode = true;
+    config.kernel.onlinePromotion = true;
+    System sys(config);
+    sys.kernel().addressSpace().addRegion("data", 0x10000000, 4 * MB,
+                                          {});
+
+    for (unsigned r = 0; r < 120; ++r) {
+        for (unsigned p = 0; p < 256; ++p) {
+            sys.cpu().execute(2);
+            sys.cpu().load(0x10000000 + Addr{p} * basePageSize);
+        }
+    }
+
+    // Some multi-page superpages must exist now.
+    bool any_multi = false;
+    for (const auto &[vbase, sp] :
+         sys.kernel().addressSpace().superpages())
+        any_multi |= sp.sizeClass > 0;
+    EXPECT_TRUE(any_multi);
+
+    // And every touched page still translates to a valid frame.
+    for (unsigned p = 0; p < 256; ++p) {
+        const Addr va = 0x10000000 + Addr{p} * basePageSize;
+        EXPECT_TRUE(sys.kernel().addressSpace().isPagePresent(va));
+        sys.cpu().load(va);     // must not fault or panic
+    }
+}
+
+TEST(Integration, StreamBuffersSurviveRemap)
+{
+    // Stream buffers hold post-translation (real) lines; a remap
+    // changes the shadow mapping but not real memory, so streams
+    // through remapped data still work end to end.
+    SystemConfig config;
+    config.installedBytes = 64 * MB;
+    config.streamBuffers.enabled = true;
+    System sys(config);
+    sys.kernel().addressSpace().addRegion("data", 0x10000000, MB, {});
+    sys.cpu().remap(0x10000000, MB);
+
+    for (Addr off = 0; off < MB; off += 32) {
+        sys.cpu().execute(2);
+        sys.cpu().load(0x10000000 + off);
+    }
+    EXPECT_GT(sys.memsys().mmc().streamBuffers().hits(), 0u);
+}
+
+TEST(Integration, WholeWorkloadOnEverythingEnabled)
+{
+    // The kitchen sink: all-shadow mode, online promotion, stream
+    // buffers — a real workload must run to completion with its
+    // internal honesty checks (round-trip fidelity) intact.
+    SystemConfig config;
+    config.installedBytes = 128 * MB;
+    config.kernel.allShadowMode = true;
+    config.kernel.onlinePromotion = true;
+    config.streamBuffers.enabled = true;
+    System sys(config);
+    auto w = makeWorkload("compress95", 0.05);
+    EXPECT_NO_THROW({
+        w->setup(sys);
+        w->run(sys);
+    });
+    EXPECT_GT(sys.totalCycles(), 0u);
+}
+
+TEST(Integration, SwapPressureLoop)
+{
+    // Failure-injection style: repeatedly swap a superpage out and
+    // fault random pages back, verifying bookkeeping never leaks
+    // frames.
+    SystemConfig config;
+    config.installedBytes = 64 * MB;
+    System sys(config);
+    sys.kernel().addressSpace().addRegion("data", 0x10000000, MB, {});
+    sys.cpu().remap(0x10000000, 256 * 1024);
+
+    const Addr free_before = sys.kernel().frames().numFree() +
+                             sys.kernel()
+                                 .addressSpace()
+                                 .numPresentPages();
+    Random rng(12);
+    for (int round = 0; round < 6; ++round) {
+        // Touch a random subset (faulting swapped pages back in).
+        for (int i = 0; i < 20; ++i) {
+            const Addr va =
+                0x10000000 + rng.below(64) * basePageSize;
+            if (rng.chance(1, 2))
+                sys.cpu().store(va);
+            else
+                sys.cpu().load(va);
+        }
+        sys.kernel().swapOutSuperpagePagewise(0x10000000,
+                                              sys.cpu().now());
+    }
+    const Addr free_after = sys.kernel().frames().numFree() +
+                            sys.kernel()
+                                .addressSpace()
+                                .numPresentPages();
+    EXPECT_EQ(free_before, free_after) << "frame leak";
+}
+
+TEST(Integration, MixedSuperpageAndBasePageWorkingSet)
+{
+    // Half the data remapped, half base-paged: both halves must keep
+    // translating correctly under TLB pressure.
+    SystemConfig config;
+    config.installedBytes = 64 * MB;
+    config.tlbEntries = 64;
+    System sys(config);
+    sys.kernel().addressSpace().addRegion("data", 0x10000000, 4 * MB,
+                                          {});
+    sys.cpu().remap(0x10000000, 2 * MB);    // first half only
+
+    Random rng(13);
+    for (int i = 0; i < 30'000; ++i) {
+        sys.cpu().execute(3);
+        const Addr a = 0x10000000 + (rng.below(4 * MB) & ~Addr{7});
+        if (rng.chance(1, 5))
+            sys.cpu().store(a);
+        else
+            sys.cpu().load(a);
+    }
+    // Superpages cover exactly the first half.
+    Addr covered = 0;
+    for (const auto &[vbase, sp] :
+         sys.kernel().addressSpace().superpages()) {
+        EXPECT_LT(sp.vbase, 0x10000000u + 2 * MB);
+        covered += sp.size();
+    }
+    EXPECT_EQ(covered, 2 * MB);
+    EXPECT_GT(sys.totalCycles(), 0u);
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the physical address map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/physmap.hh"
+
+using namespace mtlbsim;
+
+namespace
+{
+constexpr Addr MB = 1024 * 1024;
+
+PhysMap
+standardMap()
+{
+    // The paper's running example: DRAM at 0, shadow at 0x80000000.
+    return PhysMap(256 * MB, {0x80000000, 512 * MB}, 32);
+}
+}
+
+TEST(AddrRangeTest, ContainsAndEnd)
+{
+    AddrRange r{0x1000, 0x1000};
+    EXPECT_TRUE(r.contains(0x1000));
+    EXPECT_TRUE(r.contains(0x1fff));
+    EXPECT_FALSE(r.contains(0x2000));
+    EXPECT_FALSE(r.contains(0xfff));
+    EXPECT_EQ(r.end(), 0x2000u);
+}
+
+TEST(PhysMapTest, ClassifiesRealAddresses)
+{
+    PhysMap map = standardMap();
+    EXPECT_EQ(map.classify(0), AddrKind::Real);
+    EXPECT_EQ(map.classify(256 * MB - 1), AddrKind::Real);
+}
+
+TEST(PhysMapTest, ClassifiesShadowAddresses)
+{
+    PhysMap map = standardMap();
+    EXPECT_EQ(map.classify(0x80000000), AddrKind::Shadow);
+    EXPECT_EQ(map.classify(0x80000000 + 512 * MB - 1), AddrKind::Shadow);
+}
+
+TEST(PhysMapTest, ClassifiesInvalidAddresses)
+{
+    PhysMap map = standardMap();
+    // Between DRAM top and shadow base.
+    EXPECT_EQ(map.classify(256 * MB), AddrKind::Invalid);
+    // Above the shadow region.
+    EXPECT_EQ(map.classify(0x80000000 + 512 * MB), AddrKind::Invalid);
+}
+
+TEST(PhysMapTest, IoHolesWinOverShadow)
+{
+    PhysMap map = standardMap();
+    // An I/O hole inside what would otherwise be shadow space
+    // (§2.1: the OS/MMC must avoid treating I/O as shadow).
+    map.addIoHole({0x90000000, MB});
+    EXPECT_EQ(map.classify(0x90000000), AddrKind::Io);
+    EXPECT_EQ(map.classify(0x90000000 + MB), AddrKind::Shadow);
+    EXPECT_EQ(map.classify(0x8fffffff), AddrKind::Shadow);
+}
+
+TEST(PhysMapTest, IoHoleOutsideShadow)
+{
+    PhysMap map = standardMap();
+    map.addIoHole({0xf0000000, MB});
+    EXPECT_EQ(map.classify(0xf0000000), AddrKind::Io);
+}
+
+TEST(PhysMapTest, ShadowPageIndex)
+{
+    PhysMap map = standardMap();
+    EXPECT_EQ(map.shadowPageIndex(0x80000000), 0u);
+    EXPECT_EQ(map.shadowPageIndex(0x80001000), 1u);
+    EXPECT_EQ(map.shadowPageIndex(0x80240080), 0x240u);
+}
+
+TEST(PhysMapTest, ShadowPageIndexOutsideShadowPanics)
+{
+    PhysMap map = standardMap();
+    EXPECT_THROW(map.shadowPageIndex(0x1000), PanicError);
+}
+
+TEST(PhysMapTest, PageCounts)
+{
+    PhysMap map = standardMap();
+    EXPECT_EQ(map.numRealPages(), 256 * MB / 4096);
+    EXPECT_EQ(map.numShadowPages(), 512 * MB / 4096);
+}
+
+TEST(PhysMapTest, RejectsNoDram)
+{
+    EXPECT_THROW(PhysMap(0, {0x80000000, MB}, 32), FatalError);
+}
+
+TEST(PhysMapTest, RejectsUnalignedDram)
+{
+    EXPECT_THROW(PhysMap(MB + 5, {}, 32), FatalError);
+}
+
+TEST(PhysMapTest, RejectsShadowOverlappingDram)
+{
+    EXPECT_THROW(PhysMap(256 * MB, {128 * MB, MB}, 32), FatalError);
+}
+
+TEST(PhysMapTest, RejectsShadowBeyondAddressSpace)
+{
+    EXPECT_THROW(PhysMap(256 * MB, {0xc0000000, 2048 * MB}, 32),
+                 FatalError);
+}
+
+TEST(PhysMapTest, RejectsIoHoleInDram)
+{
+    PhysMap map = standardMap();
+    EXPECT_THROW(map.addIoHole({0, MB}), FatalError);
+}
+
+TEST(PhysMapTest, NoShadowRegionSystem)
+{
+    // Conventional machine: no shadow space at all.
+    PhysMap map(256 * MB, {}, 32);
+    EXPECT_EQ(map.numShadowPages(), 0u);
+    EXPECT_EQ(map.classify(0x80000000), AddrKind::Invalid);
+}

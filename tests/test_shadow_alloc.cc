@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the shadow-region allocators: the paper's bucket
+ * scheme (Figure 2) and the buddy variant (§2.4's future work).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/random.hh"
+#include "os/shadow_alloc.hh"
+
+using namespace mtlbsim;
+
+namespace
+{
+constexpr Addr MB = 1024 * 1024;
+const AddrRange shadow512{0x80000000, 512 * MB};
+}
+
+TEST(BucketAlloc, Figure2PartitionCounts)
+{
+    const auto p = BucketShadowAllocator::defaultPartition();
+    EXPECT_EQ(p[1], 1024u);     // 16 KB
+    EXPECT_EQ(p[2], 256u);      // 64 KB
+    EXPECT_EQ(p[3], 128u);      // 256 KB
+    EXPECT_EQ(p[4], 64u);       // 1 MB
+    EXPECT_EQ(p[5], 32u);       // 4 MB
+    EXPECT_EQ(p[6], 16u);       // 16 MB
+
+    // Figure 2's extents must total exactly 512 MB.
+    Addr total = 0;
+    for (unsigned c = 1; c < numPageSizeClasses; ++c)
+        total += p[c] * pageSizeForClass(c);
+    EXPECT_EQ(total, 512 * MB);
+}
+
+TEST(BucketAlloc, AllocationsAreAlignedAndInRange)
+{
+    BucketShadowAllocator alloc(
+        shadow512, BucketShadowAllocator::defaultPartition());
+    for (unsigned c = minShadowSizeClass; c <= maxShadowSizeClass;
+         ++c) {
+        const auto base = alloc.allocate(c);
+        ASSERT_TRUE(base.has_value());
+        EXPECT_EQ(*base & (pageSizeForClass(c) - 1), 0u)
+            << "misaligned class " << c;
+        EXPECT_TRUE(shadow512.contains(*base));
+        EXPECT_TRUE(shadow512.contains(*base + pageSizeForClass(c) - 1));
+    }
+}
+
+TEST(BucketAlloc, AllocationsDoNotOverlap)
+{
+    BucketShadowAllocator alloc(
+        shadow512, BucketShadowAllocator::defaultPartition());
+    std::set<Addr> starts;
+    // Drain two full buckets and spot-check disjointness.
+    for (int i = 0; i < 1024; ++i) {
+        const auto a = alloc.allocate(1);
+        ASSERT_TRUE(a.has_value());
+        EXPECT_TRUE(starts.insert(*a).second);
+    }
+    for (int i = 0; i < 16; ++i) {
+        const auto a = alloc.allocate(6);
+        ASSERT_TRUE(a.has_value());
+        // A 16 MB region must not contain any allocated 16 KB start.
+        for (Addr s : starts)
+            EXPECT_FALSE(s >= *a && s < *a + 16 * MB);
+    }
+}
+
+TEST(BucketAlloc, BucketExhaustionReturnsNullopt)
+{
+    BucketShadowAllocator alloc(
+        shadow512, BucketShadowAllocator::defaultPartition());
+    for (int i = 0; i < 16; ++i)
+        EXPECT_TRUE(alloc.allocate(6).has_value());
+    EXPECT_FALSE(alloc.allocate(6).has_value());
+    // Other buckets are unaffected — the weakness the buddy scheme
+    // fixes.
+    EXPECT_TRUE(alloc.allocate(5).has_value());
+}
+
+TEST(BucketAlloc, FreeReplenishesBucket)
+{
+    BucketShadowAllocator alloc(
+        shadow512, BucketShadowAllocator::defaultPartition());
+    const auto a = alloc.allocate(4);
+    const Addr before = alloc.available(4);
+    alloc.free(*a, 4);
+    EXPECT_EQ(alloc.available(4), before + 1);
+}
+
+TEST(BucketAlloc, AvailableMatchesFigure2)
+{
+    BucketShadowAllocator alloc(
+        shadow512, BucketShadowAllocator::defaultPartition());
+    EXPECT_EQ(alloc.available(1), 1024u);
+    EXPECT_EQ(alloc.available(6), 16u);
+    EXPECT_EQ(alloc.available(0), 0u);
+}
+
+TEST(BucketAlloc, RejectsIllegalClasses)
+{
+    BucketShadowAllocator alloc(
+        shadow512, BucketShadowAllocator::defaultPartition());
+    EXPECT_THROW(alloc.allocate(0), FatalError);
+    EXPECT_THROW(alloc.allocate(7), FatalError);
+}
+
+TEST(BuddyAlloc, AllocatesAlignedRegions)
+{
+    BuddyShadowAllocator alloc(shadow512);
+    for (unsigned c = minShadowSizeClass; c <= maxShadowSizeClass;
+         ++c) {
+        const auto base = alloc.allocate(c);
+        ASSERT_TRUE(base.has_value());
+        EXPECT_EQ(*base & (pageSizeForClass(c) - 1), 0u);
+    }
+}
+
+TEST(BuddyAlloc, SplitsLargerBlocksOnDemand)
+{
+    // A shadow region of exactly one 16 MB block can still satisfy
+    // 16 KB requests by splitting.
+    BuddyShadowAllocator alloc({0x80000000, 16 * MB});
+    const auto a = alloc.allocate(1);
+    ASSERT_TRUE(a.has_value());
+    // 16 MB / 16 KB = 1024 regions obtainable.
+    EXPECT_EQ(alloc.available(1), 1023u);
+}
+
+TEST(BuddyAlloc, CoalescesOnFree)
+{
+    BuddyShadowAllocator alloc({0x80000000, 16 * MB});
+    // Drain the whole region as 16 KB blocks.
+    std::vector<Addr> blocks;
+    while (auto a = alloc.allocate(1))
+        blocks.push_back(*a);
+    EXPECT_EQ(blocks.size(), 1024u);
+    EXPECT_FALSE(alloc.allocate(6).has_value());
+
+    // Free everything: the region must recombine into one 16 MB
+    // block.
+    for (Addr b : blocks)
+        alloc.free(b, 1);
+    EXPECT_TRUE(alloc.allocate(6).has_value());
+}
+
+TEST(BuddyAlloc, NoSizeExhaustionWhileSpaceRemains)
+{
+    // The bucket scheme's 16 MB bucket exhausts after 16 allocations
+    // (Figure 2); the buddy allocator keeps going until space truly
+    // runs out.
+    BuddyShadowAllocator alloc(shadow512);
+    unsigned count = 0;
+    while (alloc.allocate(6).has_value())
+        ++count;
+    EXPECT_EQ(count, 32u);      // 512 MB / 16 MB
+}
+
+TEST(BuddyAlloc, MixedSizesDoNotOverlap)
+{
+    BuddyShadowAllocator alloc({0x80000000, 64 * MB});
+    struct Block
+    {
+        Addr base;
+        Addr size;
+    };
+    std::vector<Block> blocks;
+    Random rng(5);
+    for (int i = 0; i < 200; ++i) {
+        const unsigned c = minShadowSizeClass +
+                           static_cast<unsigned>(rng.below(
+                               maxShadowSizeClass -
+                               minShadowSizeClass + 1));
+        const auto a = alloc.allocate(c);
+        if (!a)
+            continue;
+        blocks.push_back({*a, pageSizeForClass(c)});
+    }
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+            const bool overlap =
+                blocks[i].base < blocks[j].base + blocks[j].size &&
+                blocks[j].base < blocks[i].base + blocks[i].size;
+            EXPECT_FALSE(overlap)
+                << "blocks " << i << " and " << j << " overlap";
+        }
+    }
+}
+
+TEST(BuddyAlloc, FreeThenReallocateStress)
+{
+    BuddyShadowAllocator alloc({0x80000000, 64 * MB});
+    Random rng(11);
+    std::vector<std::pair<Addr, unsigned>> live;
+    for (int step = 0; step < 2000; ++step) {
+        if (live.empty() || rng.chance(3, 5)) {
+            const unsigned c = minShadowSizeClass +
+                               static_cast<unsigned>(rng.below(4));
+            if (auto a = alloc.allocate(c))
+                live.emplace_back(*a, c);
+        } else {
+            const auto idx = rng.below(live.size());
+            alloc.free(live[idx].first, live[idx].second);
+            live.erase(live.begin() + static_cast<long>(idx));
+        }
+    }
+    // Release everything and verify full recombination.
+    for (auto &[base, c] : live)
+        alloc.free(base, c);
+    unsigned count = 0;
+    while (alloc.allocate(6).has_value())
+        ++count;
+    EXPECT_EQ(count, 4u);   // 64 MB / 16 MB
+}
+
+TEST(BucketAlloc, RequiresAlignedShadowBase)
+{
+    // Largest-first layout requires the base aligned to the largest
+    // allocated class.
+    auto p = BucketShadowAllocator::defaultPartition();
+    EXPECT_THROW(BucketShadowAllocator({0x80004000, 512 * MB}, p),
+                 FatalError);
+}
+
+TEST(BuddyAlloc, RequiresAlignedShadowBase)
+{
+    EXPECT_THROW(BuddyShadowAllocator({0x80004000, 32 * MB}),
+                 FatalError);
+}

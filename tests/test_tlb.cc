@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Unit tests for the CPU TLB (superpages, NRU, purge) and the
+ * micro-ITLB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/tlb.hh"
+
+using namespace mtlbsim;
+
+namespace
+{
+PageProtection rw{true, true};
+PageProtection ro{false, true};
+PageProtection kernel_only{true, false};
+}
+
+TEST(PageSizeClasses, PowersOfFour)
+{
+    EXPECT_EQ(pageSizeForClass(0), 4u * 1024);
+    EXPECT_EQ(pageSizeForClass(1), 16u * 1024);
+    EXPECT_EQ(pageSizeForClass(2), 64u * 1024);
+    EXPECT_EQ(pageSizeForClass(6), 16u * 1024 * 1024);
+    EXPECT_EQ(pageSizeForClass(7), 64u * 1024 * 1024);
+}
+
+TEST(PageSizeClasses, SizeClassFor)
+{
+    EXPECT_EQ(sizeClassFor(1), 0u);
+    EXPECT_EQ(sizeClassFor(4096), 0u);
+    EXPECT_EQ(sizeClassFor(4097), 1u);
+    EXPECT_EQ(sizeClassFor(16 * 1024), 1u);
+    EXPECT_EQ(sizeClassFor(64 * 1024 * 1024), 7u);
+}
+
+TEST(TlbEntryTest, CoversAndTranslate)
+{
+    TlbEntry e;
+    e.vbase = 0x4000;
+    e.pbase = 0x80240000;
+    e.sizeClass = 1;    // 16 KB
+    e.valid = true;
+    EXPECT_TRUE(e.covers(0x4000));
+    EXPECT_TRUE(e.covers(0x7fff));
+    EXPECT_FALSE(e.covers(0x8000));
+    // The paper's Figure 1 example: 0x00004080 -> 0x80240080.
+    EXPECT_EQ(e.translate(0x4080), 0x80240080u);
+}
+
+struct TlbFixture : ::testing::Test
+{
+    TlbFixture() : group("t"), tlb(4, "tlb", group) {}
+    stats::StatGroup group;
+    Tlb tlb;
+};
+
+TEST_F(TlbFixture, MissOnEmpty)
+{
+    const auto r = tlb.lookup(0x1000, AccessType::Read,
+                              AccessMode::User);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST_F(TlbFixture, InsertThenHit)
+{
+    tlb.insert(0x1000, 0x5000, 0, rw);
+    const auto r = tlb.lookup(0x1234, AccessType::Read,
+                              AccessMode::User);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.paddr, 0x5234u);
+}
+
+TEST_F(TlbFixture, SuperpageTranslation)
+{
+    // 16 KB superpage mapping virtual 0x4000 to shadow 0x80240000,
+    // as in Figure 1.
+    tlb.insert(0x4000, 0x80240000, 1, rw);
+    const auto a = tlb.lookup(0x4080, AccessType::Read,
+                              AccessMode::User);
+    EXPECT_TRUE(a.hit);
+    EXPECT_EQ(a.paddr, 0x80240080u);
+    const auto b = tlb.lookup(0x5040, AccessType::Read,
+                              AccessMode::User);
+    EXPECT_TRUE(b.hit);
+    EXPECT_EQ(b.paddr, 0x80241040u);
+}
+
+TEST_F(TlbFixture, MixedPageSizesCoexist)
+{
+    tlb.insert(0x1000, 0x5000, 0, rw);
+    tlb.insert(0x1000000, 0x80000000, 4, rw);   // 1 MB superpage
+    EXPECT_TRUE(tlb.lookup(0x1fff, AccessType::Read,
+                           AccessMode::User).hit);
+    EXPECT_TRUE(tlb.lookup(0x10fffff, AccessType::Read,
+                           AccessMode::User).hit);
+}
+
+TEST_F(TlbFixture, WriteToReadOnlyFaults)
+{
+    tlb.insert(0x1000, 0x5000, 0, ro);
+    const auto r = tlb.lookup(0x1000, AccessType::Write,
+                              AccessMode::User);
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.protFault);
+}
+
+TEST_F(TlbFixture, UserAccessToKernelPageFaults)
+{
+    tlb.insert(0x1000, 0x5000, 0, kernel_only);
+    const auto user = tlb.lookup(0x1000, AccessType::Read,
+                                 AccessMode::User);
+    EXPECT_TRUE(user.protFault);
+    const auto kern = tlb.lookup(0x1000, AccessType::Read,
+                                 AccessMode::Kernel);
+    EXPECT_FALSE(kern.protFault);
+}
+
+TEST_F(TlbFixture, NruEvictsUnreferencedFirst)
+{
+    tlb.insert(0x1000, 0x1000, 0, rw);
+    tlb.insert(0x2000, 0x2000, 0, rw);
+    tlb.insert(0x3000, 0x3000, 0, rw);
+    tlb.insert(0x4000, 0x4000, 0, rw);
+    EXPECT_EQ(tlb.occupancy(), 4u);
+
+    // All four are referenced (inserted referenced). One more insert
+    // forces an NRU epoch reset and evicts something; afterwards a
+    // freshly-referenced entry should survive the *next* eviction.
+    tlb.insert(0x5000, 0x5000, 0, rw);
+    EXPECT_EQ(tlb.occupancy(), 4u);
+
+    // Touch 0x5000 so it is referenced.
+    tlb.lookup(0x5000, AccessType::Read, AccessMode::User);
+    tlb.insert(0x6000, 0x6000, 0, rw);
+    EXPECT_TRUE(tlb.lookup(0x5000, AccessType::Read,
+                           AccessMode::User).hit);
+}
+
+TEST_F(TlbFixture, PinnedEntryNeverEvicted)
+{
+    tlb.insert(0x1000, 0x1000, 0, rw, true);    // pinned
+    for (Addr v = 0x10000; v < 0x20000; v += 0x1000)
+        tlb.insert(v, v, 0, rw);
+    EXPECT_TRUE(tlb.lookup(0x1000, AccessType::Read,
+                           AccessMode::User).hit);
+}
+
+TEST_F(TlbFixture, AllPinnedPanicsOnInsert)
+{
+    stats::StatGroup g("t2");
+    Tlb tiny(1, "tiny", g);
+    tiny.insert(0x1000, 0x1000, 0, rw, true);
+    EXPECT_THROW(tiny.insert(0x2000, 0x2000, 0, rw), PanicError);
+}
+
+TEST_F(TlbFixture, InsertReplacesOverlappingMapping)
+{
+    // §2.3: inserting a superpage discards overlapping base-page
+    // entries for the same virtual range.
+    tlb.insert(0x4000, 0x9000, 0, rw);
+    tlb.insert(0x5000, 0xa000, 0, rw);
+    tlb.insert(0x4000, 0x80240000, 1, rw);  // covers both
+    EXPECT_EQ(tlb.occupancy(), 1u);
+    const auto r = tlb.lookup(0x5000, AccessType::Read,
+                              AccessMode::User);
+    EXPECT_EQ(r.paddr, 0x80241000u);
+}
+
+TEST_F(TlbFixture, InsertUnderLargerMappingReplacesIt)
+{
+    tlb.insert(0x4000, 0x80240000, 1, rw);
+    tlb.insert(0x5000, 0x9000, 0, rw);
+    EXPECT_EQ(tlb.occupancy(), 1u);
+    EXPECT_FALSE(tlb.lookup(0x4000, AccessType::Read,
+                            AccessMode::User).hit);
+}
+
+TEST_F(TlbFixture, PurgeRangeDropsExactly)
+{
+    tlb.insert(0x1000, 0x1000, 0, rw);
+    tlb.insert(0x2000, 0x2000, 0, rw);
+    tlb.insert(0x3000, 0x3000, 0, rw);
+    tlb.purgeRange(0x2000, 0x1000);
+    EXPECT_TRUE(tlb.lookup(0x1000, AccessType::Read,
+                           AccessMode::User).hit);
+    EXPECT_FALSE(tlb.lookup(0x2000, AccessType::Read,
+                            AccessMode::User).hit);
+    EXPECT_TRUE(tlb.lookup(0x3000, AccessType::Read,
+                           AccessMode::User).hit);
+}
+
+TEST_F(TlbFixture, PurgeRangeCatchesOverlappingSuperpage)
+{
+    tlb.insert(0x4000, 0x80240000, 1, rw);
+    // Purging any page inside the superpage drops the whole entry.
+    tlb.purgeRange(0x6000, 0x1000);
+    EXPECT_FALSE(tlb.lookup(0x4000, AccessType::Read,
+                            AccessMode::User).hit);
+}
+
+TEST_F(TlbFixture, PurgeAllKeepsPinned)
+{
+    tlb.insert(0x1000, 0x1000, 0, rw, true);
+    tlb.insert(0x2000, 0x2000, 0, rw);
+    tlb.purgeAll();
+    EXPECT_EQ(tlb.occupancy(), 1u);
+    EXPECT_TRUE(tlb.lookup(0x1000, AccessType::Read,
+                           AccessMode::User).hit);
+}
+
+TEST_F(TlbFixture, ProbeDoesNotCountStats)
+{
+    tlb.insert(0x1000, 0x1000, 0, rw);
+    const auto before = tlb.hits();
+    EXPECT_TRUE(tlb.probe(0x1000).has_value());
+    EXPECT_FALSE(tlb.probe(0x9000).has_value());
+    EXPECT_EQ(tlb.hits(), before);
+}
+
+TEST_F(TlbFixture, RejectsMisalignedInsert)
+{
+    EXPECT_THROW(tlb.insert(0x5000, 0x80240000, 1, rw), FatalError);
+    EXPECT_THROW(tlb.insert(0x4000, 0x80241000, 1, rw), FatalError);
+}
+
+TEST_F(TlbFixture, RejectsIllegalSizeClass)
+{
+    EXPECT_THROW(tlb.insert(0, 0, numPageSizeClasses, rw), FatalError);
+}
+
+TEST(TlbCapacity, OccupancyTracksInsertions)
+{
+    stats::StatGroup g("t");
+    Tlb tlb(96, "tlb", g);
+    for (Addr v = 0; v < 10; ++v)
+        tlb.insert(v << 12, v << 12, 0, rw);
+    EXPECT_EQ(tlb.occupancy(), 10u);
+    EXPECT_EQ(tlb.capacity(), 96u);
+}
+
+TEST(MicroItlbTest, HitsAfterFill)
+{
+    stats::StatGroup g("t");
+    MicroItlb uitlb(g);
+    EXPECT_FALSE(uitlb.hit(0x1000));
+
+    TlbEntry e;
+    e.vbase = 0x1000;
+    e.pbase = 0x5000;
+    e.sizeClass = 0;
+    e.valid = true;
+    uitlb.fill(e);
+    EXPECT_TRUE(uitlb.hit(0x1000));
+    EXPECT_TRUE(uitlb.hit(0x1ffc));
+    EXPECT_FALSE(uitlb.hit(0x2000));
+}
+
+TEST(MicroItlbTest, InvalidateForgets)
+{
+    stats::StatGroup g("t");
+    MicroItlb uitlb(g);
+    TlbEntry e;
+    e.vbase = 0x1000;
+    e.pbase = 0x5000;
+    e.valid = true;
+    uitlb.fill(e);
+    uitlb.invalidate();
+    EXPECT_FALSE(uitlb.hit(0x1000));
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for trace capture and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "trace/trace.hh"
+#include "trace/tracing_cpu.hh"
+
+using namespace mtlbsim;
+
+namespace
+{
+
+constexpr Addr MB = 1024 * 1024;
+
+std::string
+tempTracePath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() /
+            ("mtlbsim_test_" + name + ".trace"))
+        .string();
+}
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig c;
+    c.installedBytes = 64 * MB;
+    return c;
+}
+
+struct TraceFileFixture : ::testing::Test
+{
+    void
+    TearDown() override
+    {
+        for (const auto &p : created)
+            std::remove(p.c_str());
+    }
+
+    std::string
+    path(const std::string &name)
+    {
+        auto p = tempTracePath(name);
+        created.push_back(p);
+        return p;
+    }
+
+    std::vector<std::string> created;
+};
+
+} // namespace
+
+TEST_F(TraceFileFixture, RoundTripRecords)
+{
+    const auto p = path("roundtrip");
+    {
+        TraceWriter w(p, "unit");
+        w.load(0x1000);
+        w.store(0x2000);
+        w.execute(7);
+        w.executeAt(3, 0x400000);
+        w.append({TraceKind::Remap, 4, 0x10000000});
+        w.append({TraceKind::Sbrk, 0, 65536});
+    }
+
+    TraceReader r(p);
+    EXPECT_EQ(r.workloadName(), "unit");
+    TraceRecord rec;
+
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec, (TraceRecord{TraceKind::Load, 0, 0x1000}));
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec, (TraceRecord{TraceKind::Store, 0, 0x2000}));
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec, (TraceRecord{TraceKind::Execute, 7, 0}));
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec, (TraceRecord{TraceKind::ExecuteAt, 3, 0x400000}));
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec, (TraceRecord{TraceKind::Remap, 4, 0x10000000}));
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec, (TraceRecord{TraceKind::Sbrk, 0, 65536}));
+    EXPECT_FALSE(r.next(rec));
+    EXPECT_FALSE(r.next(rec));   // stays done
+}
+
+TEST_F(TraceFileFixture, RejectsGarbageFile)
+{
+    const auto p = path("garbage");
+    {
+        std::ofstream out(p, std::ios::binary);
+        out << "this is not a trace";
+    }
+    EXPECT_THROW(TraceReader r(p), FatalError);
+}
+
+TEST_F(TraceFileFixture, MissingFileIsFatal)
+{
+    EXPECT_THROW(TraceReader r("/nonexistent/foo.trace"), FatalError);
+}
+
+TEST_F(TraceFileFixture, LargeExecuteSplitsAcrossRecords)
+{
+    const auto p = path("split");
+    SystemConfig config = smallConfig();
+    System sys(config);
+    {
+        TraceWriter w(p, "split");
+        TracingCpu tcpu(sys.cpu(), w);
+        tcpu.execute(200'000);
+    }
+    EXPECT_EQ(sys.cpu().instructions(), 200'000u);
+
+    TraceReader r(p);
+    TraceRecord rec;
+    Counter total = 0;
+    while (r.next(rec)) {
+        EXPECT_EQ(rec.kind, TraceKind::Execute);
+        total += rec.count;
+    }
+    EXPECT_EQ(total, 200'000u);
+}
+
+TEST_F(TraceFileFixture, CaptureAndReplayReproduceTiming)
+{
+    const auto p = path("replay");
+
+    // Capture a small synthetic run.
+    Cycles captured_cycles = 0;
+    {
+        System sys(smallConfig());
+        sys.kernel().addressSpace().addRegion("data", 0x10000000,
+                                              2 * MB, {});
+        TraceWriter w(p, "synthetic");
+        TracingCpu tcpu(sys.cpu(), w);
+
+        tcpu.remap(0x10000000, 1 * MB);
+        Random rng(3);
+        for (int i = 0; i < 20'000; ++i) {
+            tcpu.execute(4);
+            const Addr a = 0x10000000 + (rng.below(2 * MB) & ~Addr{7});
+            if (rng.chance(1, 3))
+                tcpu.store(a);
+            else
+                tcpu.load(a);
+        }
+        captured_cycles = sys.cpu().now();
+    }
+
+    // Replay on an identically configured machine: timing must be
+    // bit-identical.
+    System sys2(smallConfig());
+    sys2.kernel().addressSpace().addRegion("data", 0x10000000, 2 * MB,
+                                           {});
+    TraceReader r(p);
+    TraceReplayer replayer(sys2);
+    const auto replayed = replayer.replay(r);
+    EXPECT_GT(replayed, 20'000u);
+    EXPECT_EQ(sys2.cpu().now(), captured_cycles);
+}
+
+TEST_F(TraceFileFixture, ReplayOnDifferentMachineDiffers)
+{
+    const auto p = path("replay2");
+    {
+        System sys(smallConfig());
+        sys.kernel().addressSpace().addRegion("data", 0x10000000,
+                                              2 * MB, {});
+        TraceWriter w(p, "synthetic");
+        TracingCpu tcpu(sys.cpu(), w);
+        Random rng(4);
+        for (int i = 0; i < 5'000; ++i) {
+            tcpu.execute(2);
+            tcpu.load(0x10000000 + (rng.below(2 * MB) & ~Addr{7}));
+        }
+    }
+
+    // Same trace, conventional machine vs MTLB machine.
+    SystemConfig conv = smallConfig();
+    conv.mtlbEnabled = false;
+    System a(conv), b(smallConfig());
+    for (System *sys : {&a, &b}) {
+        sys->kernel().addressSpace().addRegion("data", 0x10000000,
+                                               2 * MB, {});
+        TraceReader r(p);
+        TraceReplayer replayer(*sys);
+        replayer.replay(r);
+    }
+    EXPECT_NE(a.cpu().now(), b.cpu().now());
+}
