@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allshadow_ablation.dir/allshadow_ablation.cc.o"
+  "CMakeFiles/allshadow_ablation.dir/allshadow_ablation.cc.o.d"
+  "allshadow_ablation"
+  "allshadow_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allshadow_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_fidelity.dir/clock_fidelity.cc.o"
+  "CMakeFiles/clock_fidelity.dir/clock_fidelity.cc.o.d"
+  "clock_fidelity"
+  "clock_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commercial_projection.dir/commercial_projection.cc.o"
+  "CMakeFiles/commercial_projection.dir/commercial_projection.cc.o.d"
+  "commercial_projection"
+  "commercial_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commercial_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_partition.dir/fig2_partition.cc.o"
+  "CMakeFiles/fig2_partition.dir/fig2_partition.cc.o.d"
+  "fig2_partition"
+  "fig2_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_runtimes.dir/fig3_runtimes.cc.o"
+  "CMakeFiles/fig3_runtimes.dir/fig3_runtimes.cc.o.d"
+  "fig3_runtimes"
+  "fig3_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

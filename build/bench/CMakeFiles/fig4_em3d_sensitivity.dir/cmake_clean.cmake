@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_em3d_sensitivity.dir/fig4_em3d_sensitivity.cc.o"
+  "CMakeFiles/fig4_em3d_sensitivity.dir/fig4_em3d_sensitivity.cc.o.d"
+  "fig4_em3d_sensitivity"
+  "fig4_em3d_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_em3d_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promotion_ablation.dir/promotion_ablation.cc.o"
+  "CMakeFiles/promotion_ablation.dir/promotion_ablation.cc.o.d"
+  "promotion_ablation"
+  "promotion_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promotion_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

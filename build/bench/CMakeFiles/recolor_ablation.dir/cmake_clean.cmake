@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recolor_ablation.dir/recolor_ablation.cc.o"
+  "CMakeFiles/recolor_ablation.dir/recolor_ablation.cc.o.d"
+  "recolor_ablation"
+  "recolor_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recolor_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

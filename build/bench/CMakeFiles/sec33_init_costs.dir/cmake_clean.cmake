@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec33_init_costs.dir/sec33_init_costs.cc.o"
+  "CMakeFiles/sec33_init_costs.dir/sec33_init_costs.cc.o.d"
+  "sec33_init_costs"
+  "sec33_init_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec33_init_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streambuf_ablation.dir/streambuf_ablation.cc.o"
+  "CMakeFiles/streambuf_ablation.dir/streambuf_ablation.cc.o.d"
+  "streambuf_ablation"
+  "streambuf_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streambuf_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swap_ablation.dir/swap_ablation.cc.o"
+  "CMakeFiles/swap_ablation.dir/swap_ablation.cc.o.d"
+  "swap_ablation"
+  "swap_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swap_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

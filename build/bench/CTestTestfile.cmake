@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_fig2 "/root/repo/build/bench/fig2_partition")
+set_tests_properties(bench_smoke_fig2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig3 "/root/repo/build/bench/fig3_runtimes" "0.05")
+set_tests_properties(bench_smoke_fig3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig4 "/root/repo/build/bench/fig4_em3d_sensitivity" "0.05")
+set_tests_properties(bench_smoke_fig4 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_sec33 "/root/repo/build/bench/sec33_init_costs" "0.05")
+set_tests_properties(bench_smoke_sec33 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_swap "/root/repo/build/bench/swap_ablation")
+set_tests_properties(bench_smoke_swap PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_recolor "/root/repo/build/bench/recolor_ablation")
+set_tests_properties(bench_smoke_recolor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_promotion "/root/repo/build/bench/promotion_ablation" "0.05")
+set_tests_properties(bench_smoke_promotion PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_streambuf "/root/repo/build/bench/streambuf_ablation" "0.05")
+set_tests_properties(bench_smoke_streambuf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_commercial "/root/repo/build/bench/commercial_projection")
+set_tests_properties(bench_smoke_commercial PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_clock "/root/repo/build/bench/clock_fidelity")
+set_tests_properties(bench_smoke_clock PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagewise_paging.dir/pagewise_paging.cpp.o"
+  "CMakeFiles/pagewise_paging.dir/pagewise_paging.cpp.o.d"
+  "pagewise_paging"
+  "pagewise_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagewise_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

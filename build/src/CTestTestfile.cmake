@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("stats")
+subdirs("mem")
+subdirs("bus")
+subdirs("cache")
+subdirs("tlb")
+subdirs("mtlb")
+subdirs("mmc")
+subdirs("os")
+subdirs("cpu")
+subdirs("sim")
+subdirs("trace")
+subdirs("workloads")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtlbsim_base.dir/debug.cc.o"
+  "CMakeFiles/mtlbsim_base.dir/debug.cc.o.d"
+  "CMakeFiles/mtlbsim_base.dir/logging.cc.o"
+  "CMakeFiles/mtlbsim_base.dir/logging.cc.o.d"
+  "libmtlbsim_base.a"
+  "libmtlbsim_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtlbsim_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

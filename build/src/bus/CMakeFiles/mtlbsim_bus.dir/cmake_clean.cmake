@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtlbsim_bus.dir/bus.cc.o"
+  "CMakeFiles/mtlbsim_bus.dir/bus.cc.o.d"
+  "libmtlbsim_bus.a"
+  "libmtlbsim_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtlbsim_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

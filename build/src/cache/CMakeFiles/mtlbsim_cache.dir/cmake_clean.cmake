@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtlbsim_cache.dir/cache.cc.o"
+  "CMakeFiles/mtlbsim_cache.dir/cache.cc.o.d"
+  "libmtlbsim_cache.a"
+  "libmtlbsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtlbsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtlbsim_cpu.dir/cpu.cc.o"
+  "CMakeFiles/mtlbsim_cpu.dir/cpu.cc.o.d"
+  "libmtlbsim_cpu.a"
+  "libmtlbsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtlbsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtlbsim_mem.dir/dram.cc.o"
+  "CMakeFiles/mtlbsim_mem.dir/dram.cc.o.d"
+  "CMakeFiles/mtlbsim_mem.dir/physmap.cc.o"
+  "CMakeFiles/mtlbsim_mem.dir/physmap.cc.o.d"
+  "libmtlbsim_mem.a"
+  "libmtlbsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtlbsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

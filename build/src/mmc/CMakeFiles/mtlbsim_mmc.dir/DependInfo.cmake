@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmc/mmc.cc" "src/mmc/CMakeFiles/mtlbsim_mmc.dir/mmc.cc.o" "gcc" "src/mmc/CMakeFiles/mtlbsim_mmc.dir/mmc.cc.o.d"
+  "/root/repo/src/mmc/stream_buffer.cc" "src/mmc/CMakeFiles/mtlbsim_mmc.dir/stream_buffer.cc.o" "gcc" "src/mmc/CMakeFiles/mtlbsim_mmc.dir/stream_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/mtlbsim_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mtlbsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtlbsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtlb/CMakeFiles/mtlbsim_mtlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/mtlbsim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mtlbsim_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

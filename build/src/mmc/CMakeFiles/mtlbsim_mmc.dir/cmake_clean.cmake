@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtlbsim_mmc.dir/mmc.cc.o"
+  "CMakeFiles/mtlbsim_mmc.dir/mmc.cc.o.d"
+  "CMakeFiles/mtlbsim_mmc.dir/stream_buffer.cc.o"
+  "CMakeFiles/mtlbsim_mmc.dir/stream_buffer.cc.o.d"
+  "libmtlbsim_mmc.a"
+  "libmtlbsim_mmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtlbsim_mmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtlbsim_mtlb.dir/mtlb.cc.o"
+  "CMakeFiles/mtlbsim_mtlb.dir/mtlb.cc.o.d"
+  "libmtlbsim_mtlb.a"
+  "libmtlbsim_mtlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtlbsim_mtlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/address_space.cc" "src/os/CMakeFiles/mtlbsim_os.dir/address_space.cc.o" "gcc" "src/os/CMakeFiles/mtlbsim_os.dir/address_space.cc.o.d"
+  "/root/repo/src/os/frame_alloc.cc" "src/os/CMakeFiles/mtlbsim_os.dir/frame_alloc.cc.o" "gcc" "src/os/CMakeFiles/mtlbsim_os.dir/frame_alloc.cc.o.d"
+  "/root/repo/src/os/hpt.cc" "src/os/CMakeFiles/mtlbsim_os.dir/hpt.cc.o" "gcc" "src/os/CMakeFiles/mtlbsim_os.dir/hpt.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/mtlbsim_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/mtlbsim_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/shadow_alloc.cc" "src/os/CMakeFiles/mtlbsim_os.dir/shadow_alloc.cc.o" "gcc" "src/os/CMakeFiles/mtlbsim_os.dir/shadow_alloc.cc.o.d"
+  "/root/repo/src/os/shadow_page_pool.cc" "src/os/CMakeFiles/mtlbsim_os.dir/shadow_page_pool.cc.o" "gcc" "src/os/CMakeFiles/mtlbsim_os.dir/shadow_page_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/mtlbsim_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mtlbsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtlbsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/mtlbsim_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mtlbsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmc/CMakeFiles/mtlbsim_mmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtlb/CMakeFiles/mtlbsim_mtlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/mtlbsim_bus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

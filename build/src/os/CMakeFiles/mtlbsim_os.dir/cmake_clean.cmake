@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtlbsim_os.dir/address_space.cc.o"
+  "CMakeFiles/mtlbsim_os.dir/address_space.cc.o.d"
+  "CMakeFiles/mtlbsim_os.dir/frame_alloc.cc.o"
+  "CMakeFiles/mtlbsim_os.dir/frame_alloc.cc.o.d"
+  "CMakeFiles/mtlbsim_os.dir/hpt.cc.o"
+  "CMakeFiles/mtlbsim_os.dir/hpt.cc.o.d"
+  "CMakeFiles/mtlbsim_os.dir/kernel.cc.o"
+  "CMakeFiles/mtlbsim_os.dir/kernel.cc.o.d"
+  "CMakeFiles/mtlbsim_os.dir/shadow_alloc.cc.o"
+  "CMakeFiles/mtlbsim_os.dir/shadow_alloc.cc.o.d"
+  "CMakeFiles/mtlbsim_os.dir/shadow_page_pool.cc.o"
+  "CMakeFiles/mtlbsim_os.dir/shadow_page_pool.cc.o.d"
+  "libmtlbsim_os.a"
+  "libmtlbsim_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtlbsim_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

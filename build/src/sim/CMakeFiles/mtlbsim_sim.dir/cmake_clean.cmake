@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtlbsim_sim.dir/config_parser.cc.o"
+  "CMakeFiles/mtlbsim_sim.dir/config_parser.cc.o.d"
+  "CMakeFiles/mtlbsim_sim.dir/system.cc.o"
+  "CMakeFiles/mtlbsim_sim.dir/system.cc.o.d"
+  "libmtlbsim_sim.a"
+  "libmtlbsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtlbsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

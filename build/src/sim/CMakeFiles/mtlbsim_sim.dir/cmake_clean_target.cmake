@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmtlbsim_sim.a"
+)

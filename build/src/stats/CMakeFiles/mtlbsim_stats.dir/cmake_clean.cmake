@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtlbsim_stats.dir/stats.cc.o"
+  "CMakeFiles/mtlbsim_stats.dir/stats.cc.o.d"
+  "libmtlbsim_stats.a"
+  "libmtlbsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtlbsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtlbsim_tlb.dir/tlb.cc.o"
+  "CMakeFiles/mtlbsim_tlb.dir/tlb.cc.o.d"
+  "libmtlbsim_tlb.a"
+  "libmtlbsim_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtlbsim_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

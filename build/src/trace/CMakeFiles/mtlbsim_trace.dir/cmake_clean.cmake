@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtlbsim_trace.dir/trace.cc.o"
+  "CMakeFiles/mtlbsim_trace.dir/trace.cc.o.d"
+  "libmtlbsim_trace.a"
+  "libmtlbsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtlbsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

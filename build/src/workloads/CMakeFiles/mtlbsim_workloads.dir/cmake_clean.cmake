@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtlbsim_workloads.dir/compress.cc.o"
+  "CMakeFiles/mtlbsim_workloads.dir/compress.cc.o.d"
+  "CMakeFiles/mtlbsim_workloads.dir/em3d.cc.o"
+  "CMakeFiles/mtlbsim_workloads.dir/em3d.cc.o.d"
+  "CMakeFiles/mtlbsim_workloads.dir/experiment.cc.o"
+  "CMakeFiles/mtlbsim_workloads.dir/experiment.cc.o.d"
+  "CMakeFiles/mtlbsim_workloads.dir/gcc.cc.o"
+  "CMakeFiles/mtlbsim_workloads.dir/gcc.cc.o.d"
+  "CMakeFiles/mtlbsim_workloads.dir/oltp.cc.o"
+  "CMakeFiles/mtlbsim_workloads.dir/oltp.cc.o.d"
+  "CMakeFiles/mtlbsim_workloads.dir/radix.cc.o"
+  "CMakeFiles/mtlbsim_workloads.dir/radix.cc.o.d"
+  "CMakeFiles/mtlbsim_workloads.dir/registry.cc.o"
+  "CMakeFiles/mtlbsim_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/mtlbsim_workloads.dir/vortex.cc.o"
+  "CMakeFiles/mtlbsim_workloads.dir/vortex.cc.o.d"
+  "libmtlbsim_workloads.a"
+  "libmtlbsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtlbsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_space.cc" "tests/CMakeFiles/test_address_space.dir/test_address_space.cc.o" "gcc" "tests/CMakeFiles/test_address_space.dir/test_address_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/mtlbsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mtlbsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mtlbsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/mtlbsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/mtlbsim_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/mtlbsim_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmc/CMakeFiles/mtlbsim_mmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtlbsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/mtlbsim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mtlbsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtlb/CMakeFiles/mtlbsim_mtlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mtlbsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mtlbsim_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

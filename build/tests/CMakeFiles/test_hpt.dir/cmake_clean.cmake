@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpt.dir/test_hpt.cc.o"
+  "CMakeFiles/test_hpt.dir/test_hpt.cc.o.d"
+  "test_hpt"
+  "test_hpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

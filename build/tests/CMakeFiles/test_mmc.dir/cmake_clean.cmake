@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmc.dir/test_mmc.cc.o"
+  "CMakeFiles/test_mmc.dir/test_mmc.cc.o.d"
+  "test_mmc"
+  "test_mmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mtlb.dir/test_mtlb.cc.o"
+  "CMakeFiles/test_mtlb.dir/test_mtlb.cc.o.d"
+  "test_mtlb"
+  "test_mtlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mtlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

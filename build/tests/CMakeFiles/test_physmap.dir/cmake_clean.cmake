@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physmap.dir/test_physmap.cc.o"
+  "CMakeFiles/test_physmap.dir/test_physmap.cc.o.d"
+  "test_physmap"
+  "test_physmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

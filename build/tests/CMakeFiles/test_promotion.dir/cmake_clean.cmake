@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_promotion.dir/test_promotion.cc.o"
+  "CMakeFiles/test_promotion.dir/test_promotion.cc.o.d"
+  "test_promotion"
+  "test_promotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow_alloc.dir/test_shadow_alloc.cc.o"
+  "CMakeFiles/test_shadow_alloc.dir/test_shadow_alloc.cc.o.d"
+  "test_shadow_alloc"
+  "test_shadow_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow_table.dir/test_shadow_table.cc.o"
+  "CMakeFiles/test_shadow_table.dir/test_shadow_table.cc.o.d"
+  "test_shadow_table"
+  "test_shadow_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_buffer.dir/test_stream_buffer.cc.o"
+  "CMakeFiles/test_stream_buffer.dir/test_stream_buffer.cc.o.d"
+  "test_stream_buffer"
+  "test_stream_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
