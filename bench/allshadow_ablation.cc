@@ -37,6 +37,10 @@ run(bool all_shadow, unsigned mtlb_entries)
     config.kernel.allShadowMode = all_shadow;
     config.mtlb.numEntries = mtlb_entries;
     config.mtlb.associativity = 2;
+    // Coarse-grained invariant auditing: cheap insurance that the
+    // ablation exercises only consistent translation state.
+    config.check.enabled = true;
+    config.check.interval = 5'000'000;
     System sys(config);
 
     // A program that gains nothing from superpages (its TLB

@@ -36,6 +36,10 @@ runMode(const std::string &name, double scale, bool explicit_remap,
         bool online, Cycles threshold = 20'000)
 {
     SystemConfig config = paperConfig(96, true);
+    // Coarse-grained invariant auditing: cheap insurance that the
+    // ablation exercises only consistent translation state.
+    config.check.enabled = true;
+    config.check.interval = 5'000'000;
     config.kernel.honorExplicitRemap = explicit_remap;
     config.kernel.onlinePromotion = online;
     config.kernel.promotionThresholdCycles = threshold;

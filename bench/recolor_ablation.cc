@@ -39,6 +39,10 @@ machine()
     SystemConfig c;
     c.installedBytes = 64 * MB;
     c.cache.virtuallyIndexed = false;
+    // Coarse-grained invariant auditing: cheap insurance that the
+    // ablation exercises only consistent translation state.
+    c.check.enabled = true;
+    c.check.interval = 5'000'000;
     return c;
 }
 

@@ -24,6 +24,10 @@ ExperimentResult
 runWith(const std::string &name, double scale, unsigned buffers)
 {
     SystemConfig config = paperConfig(96, true);
+    // Coarse-grained invariant auditing: cheap insurance that the
+    // ablation exercises only consistent translation state.
+    config.check.enabled = true;
+    config.check.interval = 5'000'000;
     if (buffers > 0) {
         config.streamBuffers.enabled = true;
         config.streamBuffers.numBuffers = buffers;

@@ -42,6 +42,10 @@ runSwap(unsigned dirty_pct, bool pagewise)
 {
     SystemConfig config;
     config.installedBytes = 64 * MB;
+    // Coarse-grained invariant auditing: cheap insurance that the
+    // ablation exercises only consistent translation state.
+    config.check.enabled = true;
+    config.check.interval = 5'000'000;
     System sys(config);
     auto &as = sys.kernel().addressSpace();
     const Addr base = 0x10000000;

@@ -8,6 +8,10 @@ Bus::Bus(const BusConfig &config, stats::StatGroup &parent)
       statGroup_("bus"),
       transactions_(statGroup_.addScalar("transactions",
                                          "bus transactions issued")),
+      requests_(statGroup_.addScalar("requests",
+                                     "request-phase transactions")),
+      dataReturns_(statGroup_.addScalar("data_returns",
+                                        "fill data-return transactions")),
       queueCycles_(statGroup_.addScalar("queue_cycles",
                                         "CPU cycles spent queued for the "
                                         "bus")),
@@ -35,6 +39,7 @@ Cycles
 Bus::request(BusOp op, Cycles now)
 {
     ++transactions_;
+    ++requests_;
     Cycles bus_cycles = config_.arbitrationCycles + config_.addressCycles;
     if (op == BusOp::WriteBack)
         bus_cycles += config_.lineDataCycles;
@@ -46,6 +51,10 @@ Bus::request(BusOp op, Cycles now)
 Cycles
 Bus::dataReturn(Cycles now)
 {
+    // Data returns are phases of an already-counted transaction; they
+    // are tracked separately so the auditor can cross-check them
+    // against cache fills without disturbing `transactions`.
+    ++dataReturns_;
     return occupy(now, config_.lineDataCycles);
 }
 

@@ -68,6 +68,25 @@ class Bus
 
     const BusConfig &config() const { return config_; }
 
+    /** @name Counters for the stats-identity audits (src/check) */
+    /** @{ */
+    std::uint64_t
+    transactions() const
+    {
+        return static_cast<std::uint64_t>(transactions_.value());
+    }
+    std::uint64_t
+    requests() const
+    {
+        return static_cast<std::uint64_t>(requests_.value());
+    }
+    std::uint64_t
+    dataReturns() const
+    {
+        return static_cast<std::uint64_t>(dataReturns_.value());
+    }
+    /** @} */
+
   private:
     /** Occupy the channel for @p bus_cycles starting at @p now. */
     Cycles occupy(Cycles now, Cycles bus_cycles);
@@ -77,6 +96,8 @@ class Bus
 
     stats::StatGroup statGroup_;
     stats::Scalar &transactions_;
+    stats::Scalar &requests_;
+    stats::Scalar &dataReturns_;
     stats::Scalar &queueCycles_;
     stats::Scalar &busyCycles_;
 };

@@ -10,6 +10,7 @@ Cache::Cache(const CacheConfig &config, MemBackend &backend,
       indexMask_(numLines_ - 1),
       lines_(numLines_),
       statGroup_("cache"),
+      accesses_(statGroup_.addScalar("accesses", "demand accesses")),
       hits_(statGroup_.addScalar("hits", "cache hits")),
       misses_(statGroup_.addScalar("misses", "cache misses (line fills)")),
       writeBacks_(statGroup_.addScalar("write_backs",
@@ -36,6 +37,7 @@ Cache::indexOf(Addr vaddr, Addr paddr) const
 CacheAccessResult
 Cache::access(Addr vaddr, Addr paddr, bool write, Cycles now)
 {
+    ++accesses_;
     Line &line = lines_[indexOf(vaddr, paddr)];
     const Addr line_tag = lineBase(paddr);
 

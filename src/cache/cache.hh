@@ -137,6 +137,12 @@ class Cache
     {
         return static_cast<std::uint64_t>(misses_.value());
     }
+    /** Total demand accesses; the auditor checks
+     *  accesses == hits + misses (src/check). */
+    std::uint64_t accesses() const
+    {
+        return static_cast<std::uint64_t>(accesses_.value());
+    }
 
   private:
     struct Line
@@ -157,6 +163,7 @@ class Cache
     std::vector<Line> lines_;
 
     stats::StatGroup statGroup_;
+    stats::Scalar &accesses_;
     stats::Scalar &hits_;
     stats::Scalar &misses_;
     stats::Scalar &writeBacks_;

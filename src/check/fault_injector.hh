@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Fault-injection harness for exercising the invariant auditor.
+ *
+ * Each mutator plants one specific class of corruption by writing a
+ * component's state directly — bypassing the kernel paths that would
+ * normally keep the structures coherent — so tests can assert that
+ * the TranslationAuditor detects exactly that corruption class.
+ *
+ * The mutators are compiled only when MTLBSIM_CHECK_TESTING is
+ * defined (tests/ builds with it); in ordinary builds every call
+ * panics, so no production code path can corrupt state "for
+ * testing". Header-only: all the state it touches is reachable
+ * through public component interfaces.
+ */
+
+#ifndef MTLBSIM_CHECK_FAULT_INJECTOR_HH
+#define MTLBSIM_CHECK_FAULT_INJECTOR_HH
+
+#include "base/logging.hh"
+#include "sim/system.hh"
+
+namespace mtlbsim
+{
+
+/**
+ * Plants targeted corruptions in a System's translation state.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(System &sys) : sys_(sys) {}
+
+    /**
+     * Back a second virtual page with the frame that already backs
+     * @p va_src (double-mapped frame). @p va_dst must be inside a
+     * declared region and not yet materialised.
+     */
+    void
+    doubleMapFrame(Addr va_src, Addr va_dst)
+    {
+#ifdef MTLBSIM_CHECK_TESTING
+        AddressSpace &space = sys_.kernel().addressSpace();
+        space.installFrame(va_dst, space.frameOf(va_src));
+#else
+        (void)va_src;
+        (void)va_dst;
+        panic("fault injection requires MTLBSIM_CHECK_TESTING");
+#endif
+    }
+
+    /**
+     * Rewrite the shadow-table PTE at @p spi to name @p real_pfn
+     * without purging the MTLB — the retranslation the hardware
+     * caches goes stale.
+     */
+    void
+    staleMtlbEntry(Addr spi, Addr real_pfn)
+    {
+#ifdef MTLBSIM_CHECK_TESTING
+        sys_.memsys().mmc().shadowTable().set(spi, real_pfn);
+#else
+        (void)spi;
+        (void)real_pfn;
+        panic("fault injection requires MTLBSIM_CHECK_TESTING");
+#endif
+    }
+
+    /**
+     * Set the modified bit in the table entry at @p spi behind the
+     * MTLB's back: the table claims bits the cached copy has never
+     * seen (R/D desynchronisation). @p spi should be resident in the
+     * MTLB with a clean modified bit for the corruption to register.
+     */
+    void
+    desyncDirtyBit(Addr spi)
+    {
+#ifdef MTLBSIM_CHECK_TESTING
+        sys_.memsys().mmc().shadowTable().entry(spi).modified = 1;
+#else
+        (void)spi;
+        panic("fault injection requires MTLBSIM_CHECK_TESTING");
+#endif
+    }
+
+    /**
+     * Install a valid shadow-table mapping at @p spi, an index no
+     * recorded superpage covers (leaked shadow mapping).
+     */
+    void
+    leakShadowMapping(Addr spi, Addr real_pfn)
+    {
+#ifdef MTLBSIM_CHECK_TESTING
+        sys_.memsys().mmc().shadowTable().set(spi, real_pfn);
+#else
+        (void)spi;
+        (void)real_pfn;
+        panic("fault injection requires MTLBSIM_CHECK_TESTING");
+#endif
+    }
+
+    /** Allocate a frame and drop it on the floor (leaked frame). */
+    Addr
+    leakFrame()
+    {
+#ifdef MTLBSIM_CHECK_TESTING
+        return sys_.kernel().frames().allocate();
+#else
+        panic("fault injection requires MTLBSIM_CHECK_TESTING");
+#endif
+    }
+
+    /**
+     * Insert a base-page TLB entry mapping @p vbase to @p pbase,
+     * bypassing the OS records (stale/forged TLB entry).
+     */
+    void
+    staleTlbEntry(Addr vbase, Addr pbase)
+    {
+#ifdef MTLBSIM_CHECK_TESTING
+        sys_.tlb().insert(pageBase(vbase), pageBase(pbase), 0,
+                          PageProtection{});
+#else
+        (void)vbase;
+        (void)pbase;
+        panic("fault injection requires MTLBSIM_CHECK_TESTING");
+#endif
+    }
+
+    /**
+     * Feed one shadow-region address straight to the DRAM model, as
+     * a buggy MMC that skipped MTLB translation would (shadow escape).
+     */
+    void
+    leakShadowAddressToDram()
+    {
+#ifdef MTLBSIM_CHECK_TESTING
+        const AddrRange &shadow = sys_.physmap().shadowRange();
+        panicIf(shadow.size == 0, "machine has no shadow region");
+        sys_.memsys().mmc().dram().access(shadow.base, true);
+#else
+        panic("fault injection requires MTLBSIM_CHECK_TESTING");
+#endif
+    }
+
+  private:
+    System &sys_;
+};
+
+} // namespace mtlbsim
+
+#endif // MTLBSIM_CHECK_FAULT_INJECTOR_HH

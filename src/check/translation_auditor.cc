@@ -1,0 +1,496 @@
+#include "check/translation_auditor.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/logging.hh"
+#include "cache/cache.hh"
+#include "mem/physmap.hh"
+#include "mmc/memsys.hh"
+#include "os/kernel.hh"
+#include "tlb/tlb.hh"
+
+namespace mtlbsim
+{
+
+namespace
+{
+
+template <typename... Args>
+void
+violate(AuditReport &report, const char *invariant, Args &&...args)
+{
+    report.violations.push_back(
+        {invariant, detail::buildMessage(std::forward<Args>(args)...)});
+}
+
+/** Frame-mark states for the accounting scan. */
+constexpr std::uint8_t markNone = 0;
+constexpr std::uint8_t markFree = 1;
+constexpr std::uint8_t markMapped = 2;
+
+} // namespace
+
+TranslationAuditor::TranslationAuditor(const CheckConfig &config,
+                                       Tlb &tlb, Cache &cache,
+                                       MemorySystem &memsys,
+                                       Kernel &kernel,
+                                       const PhysMap &physmap,
+                                       stats::StatGroup &parent)
+    : config_(config), tlb_(tlb), cache_(cache), memsys_(memsys),
+      kernel_(kernel), physMap_(physmap),
+      statGroup_("check"),
+      audits_(statGroup_.addScalar("audits", "audit passes performed")),
+      checks_(statGroup_.addScalar("checks",
+                                   "invariant classes examined")),
+      violations_(statGroup_.addScalar("violations",
+                                       "invariant violations found"))
+{
+    parent.addChild(&statGroup_);
+}
+
+AuditReport
+TranslationAuditor::collect()
+{
+    AuditReport report;
+    checkTlbCoherence(report);
+    checkSuperpageBacking(report);
+    checkShadowTable(report);
+    checkFrameAccounting(report);
+    checkMtlbCoherence(report);
+    checkHptCoherence(report);
+    checkDramGuard(report);
+    checkStatsIdentities(report);
+    return report;
+}
+
+void
+TranslationAuditor::audit(Cycles now)
+{
+    ++audits_;
+    AuditReport report = collect();
+    checks_ += static_cast<double>(report.checksRun);
+    violations_ += static_cast<double>(report.violations.size());
+
+    if (report.clean())
+        return;
+
+    // Surface every violation before the policy fires so that a
+    // panicking audit still leaves the full picture in the log.
+    for (const auto &v : report.violations)
+        warn("audit @", now, " [", v.invariant, "] ", v.detail);
+
+    if (config_.panicOnViolation) {
+        panic("translation audit failed at cycle ", now, ": ",
+              report.violations.size(), " violation(s); first: [",
+              report.violations.front().invariant, "] ",
+              report.violations.front().detail);
+    }
+}
+
+void
+TranslationAuditor::checkTlbCoherence(AuditReport &report)
+{
+    ++report.checksRun;
+    const AddressSpace &space = kernel_.addressSpace();
+
+    for (const TlbEntry &e : tlb_.auditState()) {
+        if (e.pinned)
+            continue;
+
+        const Addr size = pageSizeForClass(e.sizeClass);
+        if ((e.vbase & (size - 1)) || (e.pbase & (size - 1))) {
+            violate(report, "tlb-coherence", "entry v=0x", std::hex,
+                    e.vbase, " p=0x", e.pbase,
+                    " not aligned to its size class ", std::dec,
+                    e.sizeClass);
+            continue;
+        }
+
+        if (const ShadowSuperpage *sp = space.findSuperpage(e.vbase)) {
+            if (sp->vbase != e.vbase || sp->shadowBase != e.pbase ||
+                sp->sizeClass != e.sizeClass) {
+                violate(report, "tlb-coherence", "entry v=0x", std::hex,
+                        e.vbase, " p=0x", e.pbase, " class ", std::dec,
+                        e.sizeClass,
+                        " disagrees with the superpage record v=0x",
+                        std::hex, sp->vbase, " s=0x", sp->shadowBase,
+                        " class ", std::dec, sp->sizeClass);
+            }
+            continue;
+        }
+
+        // No shadow mapping covers this range: it must be a base page
+        // mapped to the frame the OS installed.
+        if (e.sizeClass != 0) {
+            violate(report, "tlb-coherence", "superpage entry v=0x",
+                    std::hex, e.vbase,
+                    " has no address-space superpage record");
+        } else if (physMap_.classify(e.pbase) != AddrKind::Real) {
+            violate(report, "tlb-coherence", "entry v=0x", std::hex,
+                    e.vbase, " maps non-real address 0x", e.pbase,
+                    " outside any superpage");
+        } else if (!space.isPagePresent(e.vbase)) {
+            violate(report, "tlb-coherence", "entry v=0x", std::hex,
+                    e.vbase, " maps an absent page");
+        } else if (space.frameOf(e.vbase) != pageFrame(e.pbase)) {
+            violate(report, "tlb-coherence", "entry v=0x", std::hex,
+                    e.vbase, " maps frame 0x", pageFrame(e.pbase),
+                    " but the OS installed 0x", space.frameOf(e.vbase));
+        }
+    }
+}
+
+void
+TranslationAuditor::checkSuperpageBacking(AuditReport &report)
+{
+    ++report.checksRun;
+    const AddressSpace &space = kernel_.addressSpace();
+
+    if (!memsys_.mmc().hasMtlb()) {
+        if (!space.superpages().empty()) {
+            violate(report, "superpage-backing",
+                    "shadow superpages recorded on a machine without "
+                    "an MTLB");
+        }
+        return;
+    }
+
+    const ShadowTable &table = memsys_.mmc().shadowTable();
+
+    for (const auto &[vbase, sp] : space.superpages()) {
+        const Addr size = sp.size();
+        if ((sp.vbase & (size - 1)) || (sp.shadowBase & (size - 1)) ||
+            physMap_.classify(sp.shadowBase) != AddrKind::Shadow) {
+            violate(report, "superpage-backing", "superpage v=0x",
+                    std::hex, sp.vbase, " s=0x", sp.shadowBase,
+                    " misaligned or outside the shadow region");
+            continue;
+        }
+
+        const Addr spi0 = physMap_.shadowPageIndex(sp.shadowBase);
+        for (Addr i = 0; i < sp.numBasePages(); ++i) {
+            const Addr va = sp.vbase + (i << basePageShift);
+            const ShadowPte &pte = table.entry(spi0 + i);
+            const bool present = space.isPagePresent(va);
+
+            if (present && !pte.valid) {
+                violate(report, "superpage-backing", "present page v=0x",
+                        std::hex, va, " (spi 0x", spi0 + i,
+                        ") has an invalid shadow PTE");
+            } else if (present &&
+                       Addr{pte.realPfn} != space.frameOf(va)) {
+                violate(report, "superpage-backing", "page v=0x",
+                        std::hex, va, " backed by frame 0x",
+                        space.frameOf(va), " but its PTE names 0x",
+                        Addr{pte.realPfn});
+            } else if (!present && pte.valid) {
+                violate(report, "superpage-backing", "absent page v=0x",
+                        std::hex, va, " (spi 0x", spi0 + i,
+                        ") still has a valid shadow PTE");
+            }
+        }
+    }
+}
+
+void
+TranslationAuditor::checkShadowTable(AuditReport &report)
+{
+    if (!memsys_.mmc().hasMtlb())
+        return;
+    ++report.checksRun;
+
+    const AddressSpace &space = kernel_.addressSpace();
+    const ShadowTable &table = memsys_.mmc().shadowTable();
+
+    // Shadow page indices covered by some recorded superpage.
+    std::unordered_set<Addr> covered;
+    for (const auto &[vbase, sp] : space.superpages()) {
+        if (physMap_.classify(sp.shadowBase) != AddrKind::Shadow)
+            continue;  // reported by checkSuperpageBacking
+        const Addr spi0 = physMap_.shadowPageIndex(sp.shadowBase);
+        for (Addr i = 0; i < sp.numBasePages(); ++i)
+            covered.insert(spi0 + i);
+    }
+
+    // Full table scan: leaked mappings and shadow-to-real
+    // bijectivity. pfnOwner maps a real frame to the first shadow
+    // page found naming it.
+    std::unordered_map<Addr, Addr> pfnOwner;
+    for (Addr spi = 0; spi < table.numEntries(); ++spi) {
+        const ShadowPte &pte = table.entry(spi);
+        if (!pte.valid)
+            continue;
+
+        if (!covered.count(spi)) {
+            violate(report, "shadow-table", "valid PTE at spi 0x",
+                    std::hex, spi,
+                    " outside every recorded superpage (leaked "
+                    "mapping)");
+        }
+
+        const Addr pfn = pte.realPfn;
+        if (pfn >= physMap_.numRealPages()) {
+            violate(report, "shadow-table", "PTE at spi 0x", std::hex,
+                    spi, " names frame 0x", pfn,
+                    " beyond installed DRAM");
+            continue;
+        }
+        auto [it, inserted] = pfnOwner.emplace(pfn, spi);
+        if (!inserted) {
+            violate(report, "shadow-table", "frame 0x", std::hex, pfn,
+                    " mapped by both spi 0x", it->second, " and spi 0x",
+                    spi, " (double-mapped frame)");
+        }
+    }
+}
+
+void
+TranslationAuditor::checkFrameAccounting(AuditReport &report)
+{
+    ++report.checksRun;
+    const FrameAllocator &frames = kernel_.frames();
+    const AddressSpace &space = kernel_.addressSpace();
+    const Addr first = frames.firstPfn();
+    const Addr total = frames.numTotal();
+
+    frameMarks_.assign(static_cast<std::size_t>(total), markNone);
+
+    for (const Addr pfn : frames.auditFreeList()) {
+        if (pfn < first || pfn - first >= total) {
+            violate(report, "frame-accounting", "free list holds 0x",
+                    std::hex, pfn, ", outside the user frame pool");
+            continue;
+        }
+        std::uint8_t &mark = frameMarks_[pfn - first];
+        if (mark == markFree) {
+            violate(report, "frame-accounting", "frame 0x", std::hex,
+                    pfn, " appears on the free list twice");
+        }
+        mark = markFree;
+    }
+
+    for (const auto &[vpn, pfn] : space.presentPages()) {
+        if (pfn < first || pfn - first >= total) {
+            violate(report, "frame-accounting", "page v=0x", std::hex,
+                    vpn << basePageShift, " backed by 0x", pfn,
+                    ", outside the user frame pool");
+            continue;
+        }
+        std::uint8_t &mark = frameMarks_[pfn - first];
+        if (mark == markFree) {
+            violate(report, "frame-accounting", "frame 0x", std::hex,
+                    pfn, " is both free and mapped at v=0x",
+                    vpn << basePageShift);
+        } else if (mark == markMapped) {
+            violate(report, "frame-accounting", "frame 0x", std::hex,
+                    pfn, " backs two pages (double-mapped frame)");
+        }
+        mark = markMapped;
+    }
+
+    Addr leaked = 0;
+    for (const std::uint8_t mark : frameMarks_) {
+        if (mark == markNone)
+            ++leaked;
+    }
+    if (leaked > 0) {
+        violate(report, "frame-accounting", leaked,
+                " frame(s) neither free nor mapped (leaked)");
+    }
+}
+
+void
+TranslationAuditor::checkMtlbCoherence(AuditReport &report)
+{
+    if (!memsys_.mmc().hasMtlb())
+        return;
+    ++report.checksRun;
+
+    const ShadowTable &table = memsys_.mmc().shadowTable();
+
+    for (const auto &e : memsys_.mmc().mtlb().auditState()) {
+        if (e.spi >= table.numEntries()) {
+            violate(report, "mtlb-coherence", "resident spi 0x",
+                    std::hex, e.spi, " beyond the shadow table");
+            continue;
+        }
+        const ShadowPte &t = table.entry(e.spi);
+
+        if (e.pte.valid != t.valid) {
+            violate(report, "mtlb-coherence", "spi 0x", std::hex, e.spi,
+                    " cached valid=", std::dec, unsigned{e.pte.valid},
+                    " but table valid=", unsigned{t.valid},
+                    " (stale MTLB entry)");
+            continue;
+        }
+        if (e.pte.valid && e.pte.realPfn != t.realPfn) {
+            violate(report, "mtlb-coherence", "spi 0x", std::hex, e.spi,
+                    " cached frame 0x", Addr{e.pte.realPfn},
+                    " but table names 0x", Addr{t.realPfn},
+                    " (stale MTLB entry)");
+            continue;
+        }
+        if (e.pte.fault != t.fault) {
+            violate(report, "mtlb-coherence", "spi 0x", std::hex, e.spi,
+                    " fault-bit mismatch with the table");
+        }
+        // Deferred bit write-back (§3.4): the cached copy may be
+        // ahead of the table, never behind it.
+        if ((t.referenced && !e.pte.referenced) ||
+            (t.modified && !e.pte.modified)) {
+            violate(report, "mtlb-coherence", "spi 0x", std::hex, e.spi,
+                    " table R/M bits ahead of the cached copy");
+        } else if (!e.dirtyBits &&
+                   (e.pte.referenced != t.referenced ||
+                    e.pte.modified != t.modified)) {
+            violate(report, "mtlb-coherence", "spi 0x", std::hex, e.spi,
+                    " R/M bits differ with no write-back pending");
+        }
+    }
+}
+
+void
+TranslationAuditor::checkHptCoherence(AuditReport &report)
+{
+    ++report.checksRun;
+    const AddressSpace &space = kernel_.addressSpace();
+
+    std::unordered_set<Addr> vpns;
+    std::unordered_map<Addr, Addr> replicas;  // superpage vbase -> count
+
+    for (const auto &e : kernel_.hpt().auditState()) {
+        if (!vpns.insert(e.vpn).second) {
+            violate(report, "hpt-coherence", "duplicate entry for v=0x",
+                    std::hex, e.vpn << basePageShift);
+            continue;
+        }
+
+        const Addr size = pageSizeForClass(e.mapping.sizeClass);
+        if (e.mapping.vbase & (size - 1)) {
+            violate(report, "hpt-coherence", "mapping v=0x", std::hex,
+                    e.mapping.vbase, " not aligned to class ", std::dec,
+                    e.mapping.sizeClass);
+            continue;
+        }
+        if (e.vpn < pageFrame(e.mapping.vbase) ||
+            e.vpn >= pageFrame(e.mapping.vbase) +
+                         (size >> basePageShift)) {
+            violate(report, "hpt-coherence", "replica v=0x", std::hex,
+                    e.vpn << basePageShift, " outside its mapping v=0x",
+                    e.mapping.vbase);
+            continue;
+        }
+
+        const AddrKind kind = physMap_.classify(e.mapping.pbase);
+        if (kind == AddrKind::Shadow) {
+            const ShadowSuperpage *sp =
+                space.findSuperpage(e.mapping.vbase);
+            if (!sp || sp->vbase != e.mapping.vbase ||
+                sp->shadowBase != e.mapping.pbase ||
+                sp->sizeClass != e.mapping.sizeClass) {
+                violate(report, "hpt-coherence",
+                        "shadow mapping v=0x", std::hex,
+                        e.mapping.vbase, " s=0x", e.mapping.pbase,
+                        " has no matching superpage record");
+            } else {
+                ++replicas[sp->vbase];
+            }
+        } else if (kind == AddrKind::Real) {
+            if (e.mapping.sizeClass != 0) {
+                violate(report, "hpt-coherence",
+                        "real superpage mapping v=0x", std::hex,
+                        e.mapping.vbase,
+                        " (the kernel only builds shadow superpages)");
+                continue;
+            }
+            const Addr va = e.vpn << basePageShift;
+            if (space.findSuperpage(va) != nullptr) {
+                violate(report, "hpt-coherence",
+                        "stale base-page entry v=0x", std::hex, va,
+                        " under a shadow mapping");
+            } else if (!space.isPagePresent(va)) {
+                violate(report, "hpt-coherence", "entry v=0x", std::hex,
+                        va, " maps an absent page");
+            } else if (space.frameOf(va) != pageFrame(e.mapping.pbase)) {
+                violate(report, "hpt-coherence", "entry v=0x", std::hex,
+                        va, " names frame 0x",
+                        pageFrame(e.mapping.pbase),
+                        " but the OS installed 0x", space.frameOf(va));
+            }
+        } else {
+            violate(report, "hpt-coherence", "entry v=0x", std::hex,
+                    e.vpn << basePageShift, " maps 0x", e.mapping.pbase,
+                    ", which is neither DRAM nor shadow space");
+        }
+    }
+
+    for (const auto &[vbase, sp] : space.superpages()) {
+        const Addr found = replicas.count(vbase) ? replicas[vbase] : 0;
+        if (found != sp.numBasePages()) {
+            violate(report, "hpt-coherence", "superpage v=0x", std::hex,
+                    vbase, " has ", std::dec, found, " of ",
+                    sp.numBasePages(), " HPT replicas");
+        }
+    }
+
+    for (const auto &[vpn, pfn] : space.presentPages()) {
+        if (!vpns.count(vpn)) {
+            violate(report, "hpt-coherence", "present page v=0x",
+                    std::hex, vpn << basePageShift,
+                    " unreachable through the HPT");
+        }
+    }
+}
+
+void
+TranslationAuditor::checkDramGuard(AuditReport &report)
+{
+    ++report.checksRun;
+    const std::uint64_t escapes = memsys_.mmc().dram().shadowEscapes();
+    if (escapes != 0) {
+        violate(report, "dram-guard", escapes,
+                " access(es) reached the DRAM array with a non-real "
+                "address (shadow escape past the MTLB)");
+    }
+}
+
+void
+TranslationAuditor::checkStatsIdentities(AuditReport &report)
+{
+    ++report.checksRun;
+    Mmc &mmc = memsys_.mmc();
+    Bus &bus = memsys_.bus();
+
+    if (cache_.accesses() != cache_.hits() + cache_.misses()) {
+        violate(report, "stats-identities", "cache accesses (",
+                cache_.accesses(), ") != hits (", cache_.hits(),
+                ") + misses (", cache_.misses(), ")");
+    }
+    if (bus.transactions() != bus.requests()) {
+        violate(report, "stats-identities", "bus transactions (",
+                bus.transactions(), ") != request phases (",
+                bus.requests(), ")");
+    }
+    if (kernel_.tlbMissCount() != tlb_.misses()) {
+        violate(report, "stats-identities", "kernel trap count (",
+                kernel_.tlbMissCount(), ") != TLB misses (",
+                tlb_.misses(), ")");
+    }
+    if (mmc.hasMtlb()) {
+        const Mtlb &mtlb = mmc.mtlb();
+        if (mtlb.hits() + mtlb.misses() != mmc.shadowOps()) {
+            violate(report, "stats-identities", "MTLB lookups (",
+                    mtlb.hits() + mtlb.misses(),
+                    ") != MMC shadow operations (", mmc.shadowOps(),
+                    ")");
+        }
+        if (mtlb.faults() != mmc.faultsRaised()) {
+            violate(report, "stats-identities", "MTLB faults (",
+                    mtlb.faults(), ") != MMC faults raised (",
+                    mmc.faultsRaised(), ")");
+        }
+    }
+}
+
+} // namespace mtlbsim

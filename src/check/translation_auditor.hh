@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Whole-machine translation-invariant auditor.
+ *
+ * Asserts the contracts that hold between the translation structures
+ * whenever the machine is between operations:
+ *
+ *  - tlb-coherence: every CPU TLB entry agrees with the OS's
+ *    address-space records (superpage entries match their
+ *    ShadowSuperpage; base-page entries map the frame the OS
+ *    installed).
+ *  - superpage-backing: within each shadow superpage, a base page is
+ *    present exactly when its shadow-table PTE is valid, and the PTE
+ *    names the page's real frame. Swapped-out pages keep their TLB
+ *    and HPT entries by design (§2.5) — only the PTE goes invalid.
+ *  - shadow-table: valid PTEs exist only under recorded superpages
+ *    (no leaked mappings) and no two PTEs name the same real frame
+ *    (shadow-to-real bijectivity).
+ *  - frame-accounting: the allocator's free list and the OS's
+ *    present-page map partition the user frame pool — no frame is
+ *    free and mapped, mapped twice, or neither (leaked).
+ *  - mtlb-coherence: every resident MTLB entry matches its table
+ *    PTE; cached R/M bits may run ahead of the table (§3.4's
+ *    deferred write-back) but never behind, and an entry without
+ *    pending bits matches exactly.
+ *  - hpt-coherence: HPT entries are unique per base page, replicas
+ *    lie inside their mapping, shadow mappings match superpage
+ *    records (all replicas present), real mappings match installed
+ *    frames, and every present page is reachable.
+ *  - dram-guard: no shadow (or otherwise non-DRAM) address ever
+ *    reached the DRAM array — everything downstream of the MTLB is
+ *    real (§2.2).
+ *  - stats-identities: accounting identities across components
+ *    (cache accesses = hits + misses, MTLB lookups = MMC shadow
+ *    ops, kernel trap count = TLB miss count, ...).
+ */
+
+#ifndef MTLBSIM_CHECK_TRANSLATION_AUDITOR_HH
+#define MTLBSIM_CHECK_TRANSLATION_AUDITOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "check/checker.hh"
+#include "stats/stats.hh"
+
+namespace mtlbsim
+{
+
+class Cache;
+class Kernel;
+class MemorySystem;
+class PhysMap;
+class Tlb;
+
+/**
+ * The auditor. Holds references to the machine's components — not to
+ * a System — so it can be assembled around any component set and the
+ * check library stays independent of sim/.
+ */
+class TranslationAuditor : public Checker
+{
+  public:
+    TranslationAuditor(const CheckConfig &config, Tlb &tlb,
+                       Cache &cache, MemorySystem &memsys,
+                       Kernel &kernel, const PhysMap &physmap,
+                       stats::StatGroup &parent);
+
+    std::string name() const override { return "translation-auditor"; }
+
+    /** Run all checks; no policy applied. */
+    AuditReport collect() override;
+
+    /**
+     * Run all checks and apply the configured policy: warn() every
+     * violation, then panic() when panicOnViolation is set.
+     *
+     * @param now simulated time, for the report
+     */
+    void audit(Cycles now);
+
+    const CheckConfig &config() const { return config_; }
+
+    std::uint64_t
+    auditsRun() const
+    {
+        return static_cast<std::uint64_t>(audits_.value());
+    }
+    std::uint64_t
+    violationsFound() const
+    {
+        return static_cast<std::uint64_t>(violations_.value());
+    }
+
+  private:
+    void checkTlbCoherence(AuditReport &report);
+    void checkSuperpageBacking(AuditReport &report);
+    void checkShadowTable(AuditReport &report);
+    void checkFrameAccounting(AuditReport &report);
+    void checkMtlbCoherence(AuditReport &report);
+    void checkHptCoherence(AuditReport &report);
+    void checkDramGuard(AuditReport &report);
+    void checkStatsIdentities(AuditReport &report);
+
+    CheckConfig config_;
+    Tlb &tlb_;
+    Cache &cache_;
+    MemorySystem &memsys_;
+    Kernel &kernel_;
+    const PhysMap &physMap_;
+
+    /** Scratch mark-vector over the user frame pool, reused across
+     *  audits so periodic auditing does not allocate. */
+    std::vector<std::uint8_t> frameMarks_;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar &audits_;
+    stats::Scalar &checks_;
+    stats::Scalar &violations_;
+};
+
+} // namespace mtlbsim
+
+#endif // MTLBSIM_CHECK_TRANSLATION_AUDITOR_HH

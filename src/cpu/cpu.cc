@@ -44,6 +44,7 @@ Cpu::translate(Addr vaddr, AccessType type)
 void
 Cpu::executeAt(Counter n, Addr code_vaddr)
 {
+    maybeRunCheck();
     ++ifetchChecks_;
     if (!uitlb_.hit(code_vaddr)) {
         // The unified TLB provides the translation; it may trap.
@@ -60,6 +61,7 @@ Cpu::executeAt(Counter n, Addr code_vaddr)
 void
 Cpu::dataAccess(Addr vaddr, AccessType type)
 {
+    maybeRunCheck();
     const bool is_store = type == AccessType::Write;
     if (is_store)
         ++stores_;

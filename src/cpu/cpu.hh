@@ -24,6 +24,8 @@
 #ifndef MTLBSIM_CPU_CPU_HH
 #define MTLBSIM_CPU_CPU_HH
 
+#include <functional>
+
 #include "cache/cache.hh"
 #include "mmc/memsys.hh"
 #include "os/kernel.hh"
@@ -100,6 +102,20 @@ class Cpu
     }
     /** @} */
 
+    /**
+     * Arrange for @p hook to run once per @p interval simulated
+     * cycles (the src/check periodic audit). The hook fires between
+     * accesses, when all translation state is settled. Interval 0
+     * disables.
+     */
+    void
+    setPeriodicCheck(Cycles interval, std::function<void(Cycles)> hook)
+    {
+        checkInterval_ = interval;
+        checkHook_ = std::move(hook);
+        nextCheckAt_ = now_ + interval;
+    }
+
     /** Current simulated time in CPU cycles. */
     Cycles now() const { return now_; }
 
@@ -119,6 +135,18 @@ class Cpu
   private:
     void dataAccess(Addr vaddr, AccessType type);
 
+    /** Fire the periodic check hook when its interval has elapsed.
+     *  Called on access boundaries, where state is consistent. */
+    void
+    maybeRunCheck()
+    {
+        if (checkInterval_ == 0 || now_ < nextCheckAt_)
+            return;
+        while (nextCheckAt_ <= now_)
+            nextCheckAt_ += checkInterval_;
+        checkHook_(now_);
+    }
+
     /** Translate @p vaddr, trapping to the kernel on a TLB miss.
      *  Returns the (possibly shadow) physical address. */
     Addr translate(Addr vaddr, AccessType type);
@@ -132,6 +160,10 @@ class Cpu
 
     Cycles now_ = 0;
     Cycles storeBufferBusyUntil_ = 0;
+
+    Cycles checkInterval_ = 0;  ///< 0 = no periodic check
+    Cycles nextCheckAt_ = 0;
+    std::function<void(Cycles)> checkHook_;
 
     stats::StatGroup statGroup_;
     stats::Scalar &instructions_;

@@ -10,7 +10,11 @@ Dram::Dram(const DramConfig &config, stats::StatGroup &parent)
       statGroup_("dram"),
       accesses_(statGroup_.addScalar("accesses", "total DRAM accesses")),
       rowHits_(statGroup_.addScalar("row_hits", "open-row hits")),
-      rowMisses_(statGroup_.addScalar("row_misses", "open-row misses"))
+      rowMisses_(statGroup_.addScalar("row_misses", "open-row misses")),
+      shadowEscapes_(statGroup_.addScalar("shadow_escapes",
+                                          "accesses whose address was "
+                                          "not installed DRAM (must "
+                                          "stay 0)"))
 {
     fatalIf(!isPowerOf2(config.numBanks), "numBanks must be a power of 2");
     fatalIf(!isPowerOf2(config.rowBytes), "rowBytes must be a power of 2");
@@ -36,6 +40,10 @@ Cycles
 Dram::access(Addr addr, bool is_line_fill)
 {
     ++accesses_;
+    // Shadow addresses must be retranslated by the MTLB before they
+    // reach the array: only installed-DRAM addresses are legal here.
+    if (physMap_ && physMap_->classify(addr) != AddrKind::Real)
+        ++shadowEscapes_;
     const unsigned bank = bankOf(addr);
     const Addr row = rowOf(addr);
 

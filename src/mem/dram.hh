@@ -18,6 +18,7 @@
 #include "base/intmath.hh"
 #include "base/logging.hh"
 #include "base/types.hh"
+#include "mem/physmap.hh"
 #include "stats/stats.hh"
 
 namespace mtlbsim
@@ -55,6 +56,22 @@ class Dram
      *  fill read; equivalent to access(addr, false). */
     Cycles tableRead(Addr addr) { return access(addr, false); }
 
+    /**
+     * Arm the address guard: every subsequent access is classified
+     * against @p map, and any address that is not installed DRAM
+     * (a shadow address that escaped MTLB translation, or garbage)
+     * is counted in shadowEscapes(). The MMC arms this; the
+     * invariant auditor (src/check) asserts the count stays zero.
+     */
+    void setAddressGuard(const PhysMap *map) { physMap_ = map; }
+
+    /** Accesses whose address was not installed DRAM. */
+    std::uint64_t
+    shadowEscapes() const
+    {
+        return static_cast<std::uint64_t>(shadowEscapes_.value());
+    }
+
     const DramConfig &config() const { return config_; }
 
   private:
@@ -64,11 +81,13 @@ class Dram
     DramConfig config_;
     unsigned bankShift_;
     std::vector<Addr> openRow_;
+    const PhysMap *physMap_ = nullptr;  ///< address guard (optional)
 
     stats::StatGroup statGroup_;
     stats::Scalar &accesses_;
     stats::Scalar &rowHits_;
     stats::Scalar &rowMisses_;
+    stats::Scalar &shadowEscapes_;
 };
 
 } // namespace mtlbsim

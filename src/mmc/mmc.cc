@@ -25,6 +25,10 @@ Mmc::Mmc(const MmcConfig &config, const PhysMap &physmap,
 {
     parent.addChild(&statGroup_);
 
+    // Arm the DRAM address guard: everything downstream of the MTLB
+    // must be a real address (src/check relies on this tripwire).
+    dram_.setAddressGuard(&physMap_);
+
     if (config_.hasMtlb) {
         const Addr shadow_pages = physMap_.numShadowPages();
         fatalIf(shadow_pages == 0,

@@ -132,6 +132,20 @@ class Mmc
     bool hasMtlb() const { return config_.hasMtlb; }
     const PhysMap &physmap() const { return physMap_; }
 
+    /** @name Counters for the stats-identity audits (src/check) */
+    /** @{ */
+    std::uint64_t
+    shadowOps() const
+    {
+        return static_cast<std::uint64_t>(shadowOps_.value());
+    }
+    std::uint64_t
+    faultsRaised() const
+    {
+        return static_cast<std::uint64_t>(faultsRaised_.value());
+    }
+    /** @} */
+
     /** The MTLB (requires hasMtlb()). */
     Mtlb &
     mtlb()

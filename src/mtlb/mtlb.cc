@@ -189,4 +189,15 @@ Mtlb::syncAccessBits()
     }
 }
 
+std::vector<Mtlb::AuditEntry>
+Mtlb::auditState() const
+{
+    std::vector<AuditEntry> resident;
+    for (const Entry &e : entries_) {
+        if (e.valid)
+            resident.push_back({e.spi, e.pte, e.dirtyBits});
+    }
+    return resident;
+}
+
 } // namespace mtlbsim

@@ -102,6 +102,18 @@ class Mtlb
      *  without invalidating (used by the OS before reading bits). */
     void syncAccessBits();
 
+    /** One resident translation as seen by the invariant auditor. */
+    struct AuditEntry
+    {
+        Addr spi = 0;           ///< shadow page index (tag)
+        ShadowPte pte;          ///< cached copy of the table entry
+        bool dirtyBits = false; ///< R/M bits newer than the table's
+    };
+
+    /** Snapshot of every resident entry, for the invariant auditor
+     *  (src/check). Does not touch replacement state or statistics. */
+    std::vector<AuditEntry> auditState() const;
+
     unsigned numSets() const { return numSets_; }
     const MtlbConfig &config() const { return config_; }
 
@@ -112,6 +124,10 @@ class Mtlb
     std::uint64_t misses() const
     {
         return static_cast<std::uint64_t>(misses_.value());
+    }
+    std::uint64_t faults() const
+    {
+        return static_cast<std::uint64_t>(faults_.value());
     }
     double
     hitRate() const

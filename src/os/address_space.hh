@@ -114,6 +114,13 @@ class AddressSpace
     /** Number of materialised base pages. */
     std::size_t numPresentPages() const { return pages_.size(); }
 
+    /** All materialised base pages (vpn -> pfn), for the invariant
+     *  auditor (src/check). */
+    const std::unordered_map<Addr, Addr> &presentPages() const
+    {
+        return pages_;
+    }
+
     /**
      * @name Page-table walk address modelling
      * Two-level radix table over a 32-bit space: the L1 node holds

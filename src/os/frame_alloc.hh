@@ -49,6 +49,11 @@ class FrameAllocator
 
     Addr numFree() const { return freeList_.size(); }
     Addr numTotal() const { return numPfns_; }
+    Addr firstPfn() const { return firstPfn_; }
+
+    /** The current free list, for the invariant auditor (src/check).
+     *  Order is allocation order; contents are what matters. */
+    const std::vector<Addr> &auditFreeList() const { return freeList_; }
 
   private:
     Addr firstPfn_;

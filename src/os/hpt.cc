@@ -150,6 +150,18 @@ Hpt::insertBasePageReplica(const VmMapping &mapping, Addr vaddr)
     return insertOne(pageFrame(vaddr), mapping);
 }
 
+std::vector<Hpt::AuditEntry>
+Hpt::auditState() const
+{
+    std::vector<AuditEntry> live;
+    live.reserve(liveEntries_);
+    for (const auto &chain : chains_) {
+        for (const auto &entry : chain)
+            live.push_back({entry.vpn, entry.mapping});
+    }
+    return live;
+}
+
 std::vector<Addr>
 Hpt::remove(Addr vbase, unsigned size_class)
 {

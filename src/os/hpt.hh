@@ -91,6 +91,17 @@ class Hpt
      */
     std::vector<Addr> remove(Addr vbase, unsigned size_class);
 
+    /** One live entry as seen by the invariant auditor. */
+    struct AuditEntry
+    {
+        Addr vpn = 0;       ///< base-page virtual page number (key)
+        VmMapping mapping;  ///< the (possibly superpage) mapping
+    };
+
+    /** Snapshot of every live entry, replicas included, for the
+     *  invariant auditor (src/check). */
+    std::vector<AuditEntry> auditState() const;
+
     unsigned numBuckets() const { return numBuckets_; }
     Addr tableBase() const { return tableBase_; }
 

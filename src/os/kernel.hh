@@ -255,6 +255,21 @@ class Kernel
         return static_cast<Cycles>(tlbMissCycles_.value());
     }
 
+    /** Number of handleTlbMiss invocations; the auditor checks this
+     *  against the TLB's own miss counter (src/check). */
+    std::uint64_t
+    tlbMissCount() const
+    {
+        return static_cast<std::uint64_t>(tlbMisses_.value());
+    }
+
+    /** Precise MTLB faults serviced (handleShadowPageFault calls). */
+    std::uint64_t
+    shadowFaultCount() const
+    {
+        return static_cast<std::uint64_t>(shadowFaults_.value());
+    }
+
     /** Cycles remap() spent flushing caches (§3.3 breakdown). */
     Cycles
     remapFlushCycles() const

@@ -167,6 +167,20 @@ setters()
              c.kernel.sbrkPreallocBytes =
                  parseUnsigned(k, v) * 1024;
          }},
+        {"check.enabled",
+         [](SystemConfig &c, const auto &k, const auto &v) {
+             c.check.enabled = parseBool(k, v);
+         }},
+        {"check.interval",
+         [](SystemConfig &c, const auto &k, const auto &v) {
+             c.check.interval = parseUnsigned(k, v);
+             fatalIf(c.check.interval == 0, "config key '", k,
+                     "': audit interval must be non-zero");
+         }},
+        {"check.panic",
+         [](SystemConfig &c, const auto &k, const auto &v) {
+             c.check.panicOnViolation = parseBool(k, v);
+         }},
     };
     return table;
 }

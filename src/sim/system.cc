@@ -1,5 +1,7 @@
 #include "sim/system.hh"
 
+#include "check/translation_auditor.hh"
+
 namespace mtlbsim
 {
 
@@ -50,6 +52,27 @@ System::System(const SystemConfig &config)
                                        rootStats_);
     cpu_ = std::make_unique<Cpu>(config.cpu, *tlb_, *uitlb_, *cache_,
                                  *memsys_, *kernel_, rootStats_);
+
+    // The auditor is always assembled (tests can call audit() on any
+    // system); the config only decides whether the CPU triggers it
+    // periodically.
+    auditor_ = std::make_unique<TranslationAuditor>(
+        config.check, *tlb_, *cache_, *memsys_, *kernel_, physMap_,
+        rootStats_);
+    if (config.check.enabled) {
+        cpu_->setPeriodicCheck(config.check.interval,
+                               [this](Cycles now) {
+                                   auditor_->audit(now);
+                               });
+    }
+}
+
+System::~System() = default;
+
+void
+System::audit()
+{
+    auditor_->audit(cpu_->now());
 }
 
 void

@@ -26,6 +26,7 @@
 
 #include "bus/bus.hh"
 #include "cache/cache.hh"
+#include "check/checker.hh"
 #include "cpu/cpu.hh"
 #include "mem/physmap.hh"
 #include "mmc/memsys.hh"
@@ -35,6 +36,8 @@
 
 namespace mtlbsim
 {
+
+class TranslationAuditor;
 
 /** Top-level machine configuration. */
 struct SystemConfig
@@ -61,6 +64,8 @@ struct SystemConfig
     StreamBufferConfig streamBuffers;
     CpuConfig cpu;
     KernelConfig kernel;
+    /** Invariant auditing (src/check); off by default. */
+    CheckConfig check;
 };
 
 /**
@@ -70,6 +75,7 @@ class System
 {
   public:
     explicit System(const SystemConfig &config);
+    ~System();
 
     Cpu &cpu() { return *cpu_; }
     Kernel &kernel() { return *kernel_; }
@@ -81,6 +87,14 @@ class System
     const SystemConfig &config() const { return config_; }
 
     stats::StatGroup &rootStats() { return rootStats_; }
+
+    /** The translation-invariant auditor (always constructed; the
+     *  check config only gates *periodic* audits). */
+    TranslationAuditor &auditor() { return *auditor_; }
+
+    /** Run one audit pass now, applying the configured violation
+     *  policy (panic or warn). */
+    void audit();
 
     /** Dump every statistic in gem5-style text form. */
     void dumpStats(std::ostream &os) const;
@@ -120,6 +134,7 @@ class System
     std::unique_ptr<MicroItlb> uitlb_;
     std::unique_ptr<Kernel> kernel_;
     std::unique_ptr<Cpu> cpu_;
+    std::unique_ptr<TranslationAuditor> auditor_;
 };
 
 } // namespace mtlbsim

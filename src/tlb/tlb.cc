@@ -191,6 +191,17 @@ Tlb::probe(Addr vaddr) const
     return entries_[idx];
 }
 
+std::vector<TlbEntry>
+Tlb::auditState() const
+{
+    std::vector<TlbEntry> valid;
+    for (const TlbEntry &e : entries_) {
+        if (e.valid)
+            valid.push_back(e);
+    }
+    return valid;
+}
+
 MicroItlb::MicroItlb(stats::StatGroup &parent)
     : statGroup_("uitlb"),
       hits_(statGroup_.addScalar("hits", "micro-ITLB hits")),

@@ -144,6 +144,10 @@ class Tlb
     /** Probe without updating NRU state or stats (test support). */
     std::optional<TlbEntry> probe(Addr vaddr) const;
 
+    /** Snapshot of every valid entry, for the invariant auditor
+     *  (src/check). Does not touch NRU state or statistics. */
+    std::vector<TlbEntry> auditState() const;
+
     std::uint64_t hits() const
     {
         return static_cast<std::uint64_t>(hits_.value());

@@ -24,6 +24,11 @@ runExperiment(const std::string &workload_name, double scale,
     workload->setup(sys);
     workload->run(sys);
 
+    // When auditing is on, cover the tail interval the periodic
+    // check missed with one final end-of-run pass.
+    if (config.check.enabled)
+        sys.audit();
+
     ExperimentResult r;
     r.workload = workload_name;
     r.tlbEntries = config.tlbEntries;

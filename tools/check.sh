@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# mtlbsim correctness driver.
+#
+# Runs, in order:
+#   1. the warnings-as-errors build,
+#   2. the plain test suite,
+#   3. the address+UB-sanitized test suite,
+#   4. (optional, --tsan) the thread-sanitized test suite,
+#   5. (optional, --tidy) clang-tidy over src/.
+#
+# Usage: tools/check.sh [--tsan] [--tidy] [-j N]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+run_tsan=0
+run_tidy=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --tsan) run_tsan=1 ;;
+        --tidy) run_tidy=1 ;;
+        -j) shift; jobs=$1 ;;
+        *) echo "usage: tools/check.sh [--tsan] [--tidy] [-j N]" >&2
+           exit 2 ;;
+    esac
+    shift
+done
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "warnings-as-errors build"
+cmake --preset werror >/dev/null
+cmake --build --preset werror -j "$jobs"
+
+step "test suite (default build)"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs"
+ctest --preset default -j "$jobs"
+
+step "test suite (address + undefined sanitizers)"
+cmake --preset asan-ubsan >/dev/null
+cmake --build --preset asan-ubsan -j "$jobs"
+ctest --preset asan-ubsan -j "$jobs"
+
+if [ "$run_tsan" = 1 ]; then
+    step "test suite (thread sanitizer)"
+    cmake --preset tsan >/dev/null
+    cmake --build --preset tsan -j "$jobs"
+    ctest --preset tsan -j "$jobs"
+fi
+
+if [ "$run_tidy" = 1 ]; then
+    step "clang-tidy"
+    if ! command -v clang-tidy >/dev/null; then
+        echo "clang-tidy not found; skipping" >&2
+    else
+        cmake -B build-tidy -S . \
+            -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+        find src -name '*.cc' -print0 |
+            xargs -0 -P "$jobs" -n 4 clang-tidy -p build-tidy --quiet
+    fi
+fi
+
+step "all checks passed"
