@@ -9,14 +9,20 @@
  * Also evaluates the §3.4 textual claims, including radix at a
  * 256-entry TLB (13.5% miss time in the paper).
  *
- * Usage: fig3_runtimes [scale]      (default 1.0 = paper sizes)
+ * The design space comes from sweep::fig3Matrix and runs on the
+ * parallel SweepRunner; results are identical for any job count.
+ *
+ * Usage: fig3_runtimes [scale] [jobs]   (default scale 1.0, jobs =
+ *                                        hardware concurrency)
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <string>
 #include <vector>
 
+#include "sweep/matrix.hh"
 #include "workloads/experiment.hh"
 
 using namespace mtlbsim;
@@ -35,6 +41,19 @@ const std::vector<ConfigPoint> fig3Points = {
     {64, true},  {96, true},  {128, true},
 };
 
+std::string
+pointKey(const ConfigPoint &p)
+{
+    return std::to_string(p.tlb) + (p.mtlb ? "+M" : "");
+}
+
+std::string
+jobId(const std::string &workload, unsigned tlb, bool mtlb)
+{
+    return "fig3/" + workload + "/tlb" + std::to_string(tlb) +
+           (mtlb ? "+mtlb" : "");
+}
+
 void
 printHeader()
 {
@@ -51,6 +70,8 @@ int
 main(int argc, char **argv)
 {
     const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+    const unsigned jobs =
+        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 0;
     setInformEnabled(false);
 
     std::printf("=== Figure 3: normalized runtimes, 5 programs x "
@@ -59,32 +80,46 @@ main(int argc, char **argv)
     std::printf("=== base system = 96-entry TLB, no MTLB "
                 "(scale %.2f)\n\n", scale);
 
-    std::map<std::string, std::map<std::string, ExperimentResult>>
-        all;
+    const auto matrix = sweep::fig3Matrix(scale);
+    sweep::SweepOptions options;
+    options.jobs = jobs;
+    options.captureStats = false;
 
-    for (const auto &name : allWorkloadNames()) {
-        for (const auto &p : fig3Points) {
-            const auto key = std::to_string(p.tlb) +
-                             (p.mtlb ? "+M" : "");
-            all[name][key] = runExperiment(
-                name, scale, paperConfig(p.tlb, p.mtlb));
-            std::fprintf(stderr, "  done: %s tlb=%u mtlb=%d\n",
-                         name.c_str(), p.tlb, p.mtlb);
+    const auto results = sweep::SweepRunner(options).run(
+        matrix.jobs,
+        [](const sweep::SweepResult &r, std::size_t done,
+           std::size_t total) {
+            std::fprintf(stderr, "  [%zu/%zu] done: %s%s%s\n", done,
+                         total, r.id.c_str(),
+                         r.ok ? "" : " FAILED: ",
+                         r.ok ? "" : r.error.c_str());
+        });
+
+    std::map<std::string, ExperimentResult> byId;
+    for (const auto &r : results) {
+        if (!r.ok) {
+            std::fprintf(stderr, "job %s failed: %s\n", r.id.c_str(),
+                         r.error.c_str());
+            return 1;
         }
+        byId[r.id] = r.metrics;
     }
+    auto at = [&](const std::string &workload, unsigned tlb,
+                  bool mtlb) -> const ExperimentResult & {
+        return byId.at(jobId(workload, tlb, mtlb));
+    };
 
     std::printf("--- normalized total runtime (lower is better)\n");
     printHeader();
     for (const auto &name : allWorkloadNames()) {
-        const double base = static_cast<double>(
-            all[name]["96"].totalCycles);
+        const double base =
+            static_cast<double>(at(name, 96, false).totalCycles);
         std::printf("%-12s", name.c_str());
         for (const auto &p : fig3Points) {
-            const auto key = std::to_string(p.tlb) +
-                             (p.mtlb ? "+M" : "");
             std::printf("  %11.3f",
                         static_cast<double>(
-                            all[name][key].totalCycles) / base);
+                            at(name, p.tlb, p.mtlb).totalCycles) /
+                            base);
         }
         std::printf("\n");
     }
@@ -95,10 +130,9 @@ main(int argc, char **argv)
     for (const auto &name : allWorkloadNames()) {
         std::printf("%-12s", name.c_str());
         for (const auto &p : fig3Points) {
-            const auto key = std::to_string(p.tlb) +
-                             (p.mtlb ? "+M" : "");
             std::printf("  %10.1f%%",
-                        100.0 * all[name][key].tlbMissFraction);
+                        100.0 *
+                            at(name, p.tlb, p.mtlb).tlbMissFraction);
         }
         std::printf("\n");
     }
@@ -108,14 +142,13 @@ main(int argc, char **argv)
 
     unsigned over20 = 0;
     for (const auto &name : allWorkloadNames()) {
-        if (all[name]["64"].tlbMissFraction > 0.20)
+        if (at(name, 64, false).tlbMissFraction > 0.20)
             ++over20;
     }
     std::printf("programs with >20%% miss time at 64 entries "
                 "(paper: 4 of 5): %u of 5\n", over20);
 
-    const auto radix256 =
-        runExperiment("radix", scale, paperConfig(256, false));
+    const auto &radix256 = byId.at("fig3/radix/tlb256");
     std::printf("radix miss time at 256 entries (paper: 13.5%%): "
                 "%.1f%%\n", 100.0 * radix256.tlbMissFraction);
 
@@ -125,10 +158,10 @@ main(int argc, char **argv)
         for (const auto &p : fig3Points) {
             if (!p.mtlb)
                 continue;
-            const auto key = std::to_string(p.tlb) + "+M";
-            if (all[name][key].tlbMissFraction > worst_mtlb) {
-                worst_mtlb = all[name][key].tlbMissFraction;
-                worst_name = name;
+            const double frac = at(name, p.tlb, true).tlbMissFraction;
+            if (frac > worst_mtlb) {
+                worst_mtlb = frac;
+                worst_name = name + " (" + pointKey(p) + ")";
             }
         }
     }
@@ -142,11 +175,9 @@ main(int argc, char **argv)
     for (const auto &name : allWorkloadNames()) {
         std::printf("%-12s", name.c_str());
         for (unsigned tlb : {64u, 96u, 128u}) {
-            const auto base_key = std::to_string(tlb);
-            const auto mtlb_key = base_key + "+M";
             const double speedup =
-                static_cast<double>(all[name][base_key].totalCycles) /
-                static_cast<double>(all[name][mtlb_key].totalCycles);
+                static_cast<double>(at(name, tlb, false).totalCycles) /
+                static_cast<double>(at(name, tlb, true).totalCycles);
             std::printf("  %7.3fx", speedup);
         }
         std::printf("\n");
@@ -156,8 +187,8 @@ main(int argc, char **argv)
                 "128-entry TLB alone\n");
     for (const auto &name : allWorkloadNames()) {
         const double ratio =
-            static_cast<double>(all[name]["64+M"].totalCycles) /
-            static_cast<double>(all[name]["128"].totalCycles);
+            static_cast<double>(at(name, 64, true).totalCycles) /
+            static_cast<double>(at(name, 128, false).totalCycles);
         std::printf("%-12s  %.3f  (%s)\n", name.c_str(), ratio,
                     ratio <= 1.02 ? "64+MTLB wins or ties"
                                   : "128-entry TLB wins");

@@ -15,13 +15,19 @@
  * ~10 cycles (small, low-associativity MTLBs) down to ~1.5 cycles,
  * with a 1-MMC-cycle floor from the shadow check (§2.2).
  *
- * Usage: fig4_em3d_sensitivity [scale]
+ * The design space comes from sweep::fig4Matrix and runs on the
+ * parallel SweepRunner; results are identical for any job count.
+ *
+ * Usage: fig4_em3d_sensitivity [scale] [jobs]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <string>
 #include <vector>
 
+#include "sweep/matrix.hh"
 #include "workloads/experiment.hh"
 
 using namespace mtlbsim;
@@ -30,6 +36,8 @@ int
 main(int argc, char **argv)
 {
     const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+    const unsigned jobs =
+        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 0;
     setInformEnabled(false);
 
     const std::vector<unsigned> sizes = {64, 128, 256, 512};
@@ -39,26 +47,35 @@ main(int argc, char **argv)
                 "associativity (128-entry CPU TLB, scale %.2f)\n\n",
                 scale);
 
-    const auto base =
-        runExperiment("em3d", scale, paperConfig(128, false));
-    std::fprintf(stderr, "  done: no-MTLB baseline\n");
+    const auto matrix = sweep::fig4Matrix(scale);
+    sweep::SweepOptions options;
+    options.jobs = jobs;
+    options.captureStats = false;
 
-    struct Cell
-    {
-        ExperimentResult r;
-    };
-    std::vector<std::vector<Cell>> grid(
-        sizes.size(), std::vector<Cell>(assocs.size()));
+    const auto results = sweep::SweepRunner(options).run(
+        matrix.jobs,
+        [](const sweep::SweepResult &r, std::size_t done,
+           std::size_t total) {
+            std::fprintf(stderr, "  [%zu/%zu] done: %s\n", done,
+                         total, r.id.c_str());
+        });
 
-    for (std::size_t s = 0; s < sizes.size(); ++s) {
-        for (std::size_t a = 0; a < assocs.size(); ++a) {
-            grid[s][a].r = runExperiment(
-                "em3d", scale,
-                paperConfig(128, true, sizes[s], assocs[a]));
-            std::fprintf(stderr, "  done: mtlb %u entries %u-way\n",
-                         sizes[s], assocs[a]);
+    std::map<std::string, ExperimentResult> byId;
+    for (const auto &r : results) {
+        if (!r.ok) {
+            std::fprintf(stderr, "job %s failed: %s\n", r.id.c_str(),
+                         r.error.c_str());
+            return 1;
         }
+        byId[r.id] = r.metrics;
     }
+
+    const auto &base = byId.at("fig4/em3d/no-mtlb");
+    auto cell = [&](unsigned entries,
+                    unsigned assoc) -> const ExperimentResult & {
+        return byId.at("fig4/em3d/m" + std::to_string(entries) + "x" +
+                       std::to_string(assoc));
+    };
 
     std::printf("--- (A) total runtime normalized to the no-MTLB "
                 "128-entry-TLB system\n");
@@ -68,12 +85,11 @@ main(int argc, char **argv)
     for (unsigned a : assocs)
         std::printf("  %6u-way", a);
     std::printf("\n");
-    for (std::size_t s = 0; s < sizes.size(); ++s) {
-        std::printf("%-10u", sizes[s]);
-        for (std::size_t a = 0; a < assocs.size(); ++a) {
+    for (unsigned s : sizes) {
+        std::printf("%-10u", s);
+        for (unsigned a : assocs) {
             std::printf("  %10.3f",
-                        static_cast<double>(
-                            grid[s][a].r.totalCycles) /
+                        static_cast<double>(cell(s, a).totalCycles) /
                             static_cast<double>(base.totalCycles));
         }
         std::printf("\n");
@@ -85,11 +101,10 @@ main(int argc, char **argv)
     for (unsigned a : assocs)
         std::printf("  %6u-way", a);
     std::printf("\n");
-    for (std::size_t s = 0; s < sizes.size(); ++s) {
-        std::printf("%-10u", sizes[s]);
-        for (std::size_t a = 0; a < assocs.size(); ++a) {
-            std::printf("  %10.2f", grid[s][a].r.avgFillCycles);
-        }
+    for (unsigned s : sizes) {
+        std::printf("%-10u", s);
+        for (unsigned a : assocs)
+            std::printf("  %10.2f", cell(s, a).avgFillCycles);
         std::printf("\n");
     }
 
@@ -99,12 +114,11 @@ main(int argc, char **argv)
     for (unsigned a : assocs)
         std::printf("  %6u-way", a);
     std::printf("\n");
-    for (std::size_t s = 0; s < sizes.size(); ++s) {
-        std::printf("%-10u", sizes[s]);
-        for (std::size_t a = 0; a < assocs.size(); ++a) {
+    for (unsigned s : sizes) {
+        std::printf("%-10u", s);
+        for (unsigned a : assocs) {
             std::printf("  %10.2f",
-                        grid[s][a].r.avgFillCycles -
-                            base.avgFillCycles);
+                        cell(s, a).avgFillCycles - base.avgFillCycles);
         }
         std::printf("\n");
     }
@@ -115,24 +129,22 @@ main(int argc, char **argv)
     for (unsigned a : assocs)
         std::printf("  %6u-way", a);
     std::printf("\n");
-    for (std::size_t s = 0; s < sizes.size(); ++s) {
-        std::printf("%-10u", sizes[s]);
-        for (std::size_t a = 0; a < assocs.size(); ++a) {
-            std::printf("  %9.1f%%",
-                        100.0 * grid[s][a].r.mtlbHitRate);
-        }
+    for (unsigned s : sizes) {
+        std::printf("%-10u", s);
+        for (unsigned a : assocs)
+            std::printf("  %9.1f%%", 100.0 * cell(s, a).mtlbHitRate);
         std::printf("\n");
     }
 
     // §3.5 claims.
     const double default_ratio =
-        static_cast<double>(grid[1][1].r.totalCycles) /
+        static_cast<double>(cell(128, 2).totalCycles) /
         static_cast<double>(base.totalCycles);
     const double bigger_ratio =
-        static_cast<double>(grid[2][1].r.totalCycles) /
+        static_cast<double>(cell(256, 2).totalCycles) /
         static_cast<double>(base.totalCycles);
     const double wider_ratio =
-        static_cast<double>(grid[1][2].r.totalCycles) /
+        static_cast<double>(cell(128, 4).totalCycles) /
         static_cast<double>(base.totalCycles);
     std::printf("\n=== §3.5 claims check\n");
     std::printf("default 128/2-way vs no-MTLB (paper: ~2%% slower): "

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 
 namespace mtlbsim::debug
 {
@@ -12,7 +13,13 @@ namespace
 {
 
 /** Global flag registry (function-local static avoids order-of-
- *  initialisation issues with flags defined at namespace scope). */
+ *  initialisation issues with flags defined at namespace scope).
+ *
+ *  Components lazily register flags as function-local statics, and
+ *  the sweep runner constructs Systems from many threads at once:
+ *  each individual flag's construction is serialized by its static
+ *  guard, but two *different* flags can register concurrently, so
+ *  every access to the shared map takes registryMutex(). */
 std::map<std::string, Flag *> &
 registry()
 {
@@ -20,41 +27,63 @@ registry()
     return flags;
 }
 
+std::mutex &
+registryMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
 } // namespace
 
 Flag::Flag(const std::string &name) : name_(name)
 {
-    auto [it, inserted] = registry().emplace(name, this);
-    (void)it;
+    bool inserted = false;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex());
+        inserted = registry().emplace(name, this).second;
+    }
     fatalIf(!inserted, "duplicate debug flag '", name, "'");
 }
 
 Flag::~Flag()
 {
+    std::lock_guard<std::mutex> lock(registryMutex());
     registry().erase(name_);
 }
 
 void
 enableFlag(const std::string &name)
 {
-    auto it = registry().find(name);
-    fatalIf(it == registry().end(), "no debug flag named '", name,
-            "'");
-    it->second->enable();
+    Flag *flag = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex());
+        auto it = registry().find(name);
+        if (it != registry().end())
+            flag = it->second;
+    }
+    fatalIf(flag == nullptr, "no debug flag named '", name, "'");
+    flag->enable();
 }
 
 void
 disableFlag(const std::string &name)
 {
-    auto it = registry().find(name);
-    fatalIf(it == registry().end(), "no debug flag named '", name,
-            "'");
-    it->second->disable();
+    Flag *flag = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex());
+        auto it = registry().find(name);
+        if (it != registry().end())
+            flag = it->second;
+    }
+    fatalIf(flag == nullptr, "no debug flag named '", name, "'");
+    flag->disable();
 }
 
 std::vector<std::string>
 allFlags()
 {
+    std::lock_guard<std::mutex> lock(registryMutex());
     std::vector<std::string> names;
     for (const auto &[name, flag] : registry())
         names.push_back(name);
@@ -72,6 +101,7 @@ enableFromList(const std::string &list)
         const std::string token = list.substr(begin, end - begin);
         if (!token.empty()) {
             if (token == "All") {
+                std::lock_guard<std::mutex> lock(registryMutex());
                 for (auto &[name, flag] : registry())
                     flag->enable();
             } else {

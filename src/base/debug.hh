@@ -17,6 +17,7 @@
 #ifndef MTLBSIM_BASE_DEBUG_HH
 #define MTLBSIM_BASE_DEBUG_HH
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -39,14 +40,21 @@ class Flag
     Flag &operator=(const Flag &) = delete;
 
     const std::string &name() const { return name_; }
-    bool enabled() const { return enabled_; }
 
-    void enable() { enabled_ = true; }
-    void disable() { enabled_ = false; }
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    void enable() { enabled_.store(true, std::memory_order_relaxed); }
+    void disable() { enabled_.store(false, std::memory_order_relaxed); }
 
   private:
     std::string name_;
-    bool enabled_ = false;
+    /** Atomic so sweep worker threads may test a flag that the
+     *  driver thread toggles. */
+    std::atomic<bool> enabled_{false};
 };
 
 /** Enable a flag by name; fatal when no such flag exists. */

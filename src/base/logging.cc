@@ -1,5 +1,6 @@
 #include "base/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 
 namespace mtlbsim
@@ -7,13 +8,14 @@ namespace mtlbsim
 
 namespace
 {
-bool informEnabled = true;
+/** Atomic: sweep worker threads log while the driver toggles it. */
+std::atomic<bool> informEnabled{true};
 }
 
 void
 setInformEnabled(bool enabled)
 {
-    informEnabled = enabled;
+    informEnabled.store(enabled, std::memory_order_relaxed);
 }
 
 namespace detail
@@ -22,7 +24,8 @@ namespace detail
 void
 emitLog(const char *level, const std::string &msg)
 {
-    if (level == std::string("info") && !informEnabled)
+    if (level == std::string("info") &&
+        !informEnabled.load(std::memory_order_relaxed))
         return;
     std::fprintf(stderr, "%s: %s\n", level, msg.c_str());
 }

@@ -24,7 +24,8 @@ Kernel::Kernel(const KernelConfig &config, const PhysMap &physmap,
     : config_(config), physMap_(physmap), tlb_(tlb), uitlb_(uitlb),
       cache_(cache), memsys_(memsys),
       frames_(KernelLayout::firstUserPfn,
-              physmap.numRealPages() - KernelLayout::firstUserPfn),
+              physmap.numRealPages() - KernelLayout::firstUserPfn,
+              config.frameSeed),
       hpt_(KernelLayout::hptBase, config.hptBuckets),
       space_(std::make_unique<AddressSpace>(KernelLayout::ptPoolBase)),
       sbrkPrealloc_(config.sbrkPreallocBytes),

@@ -115,6 +115,11 @@ struct KernelConfig
 
     /** Initial sbrk() preallocation chunk (vortex used 8 MB, §3.1). */
     Addr sbrkPreallocBytes = 8 * 1024 * 1024;
+
+    /** Seed for the frame allocator's free-list shuffle. Sweep jobs
+     *  may perturb it to decorrelate physical layouts; runs with the
+     *  same seed are bit-identical. */
+    std::uint64_t frameSeed = 12345;
 };
 
 /** Fixed kernel physical-memory layout. */

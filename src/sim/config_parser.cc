@@ -167,6 +167,10 @@ setters()
              c.kernel.sbrkPreallocBytes =
                  parseUnsigned(k, v) * 1024;
          }},
+        {"kernel.frame_seed",
+         [](SystemConfig &c, const auto &k, const auto &v) {
+             c.kernel.frameSeed = parseUnsigned(k, v);
+         }},
         {"check.enabled",
          [](SystemConfig &c, const auto &k, const auto &v) {
              c.check.enabled = parseBool(k, v);

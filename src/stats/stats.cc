@@ -30,6 +30,15 @@ Scalar::print(std::ostream &os, const std::string &prefix) const
     printLine(os, prefix, name(), value_, desc());
 }
 
+json::Value
+Scalar::toJson() const
+{
+    auto v = json::Value::object();
+    v.set("kind", "scalar");
+    v.set("value", value_);
+    return v;
+}
+
 void
 Average::print(std::ostream &os, const std::string &prefix) const
 {
@@ -37,6 +46,23 @@ Average::print(std::ostream &os, const std::string &prefix) const
     printLine(os, prefix, name() + ".count", count(), "");
     printLine(os, prefix, name() + ".min", min(), "");
     printLine(os, prefix, name() + ".max", max(), "");
+}
+
+json::Value
+Average::toJson() const
+{
+    auto v = json::Value::object();
+    v.set("kind", "average");
+    v.set("count", count());
+    v.set("sum", sum());
+    v.set("mean", mean());
+    // No samples -> the +/-inf tracking sentinels are meaningless;
+    // omit the members rather than serializing them.
+    if (count()) {
+        v.set("min", min());
+        v.set("max", max());
+    }
+    return v;
 }
 
 void
@@ -54,10 +80,40 @@ Histogram::print(std::ostream &os, const std::string &prefix) const
     printLine(os, prefix, name() + ".overflow", overflow(), "");
 }
 
+json::Value
+Histogram::toJson() const
+{
+    auto v = json::Value::object();
+    v.set("kind", "histogram");
+    v.set("count", count());
+    v.set("sum", sum_);
+    v.set("mean", mean());
+    v.set("lo", lo_);
+    v.set("bucket_width", bucketWidth_);
+    v.set("underflow", underflow());
+    auto buckets = json::Value::array();
+    for (const auto b : buckets_)
+        buckets.push(json::Value(b));
+    v.set("buckets", std::move(buckets));
+    v.set("overflow", overflow());
+    return v;
+}
+
 void
 Formula::print(std::ostream &os, const std::string &prefix) const
 {
     printLine(os, prefix, name(), value(), desc());
+}
+
+json::Value
+Formula::toJson() const
+{
+    auto v = json::Value::object();
+    v.set("kind", "formula");
+    // A non-finite value (e.g. a ratio over zero events) is stored
+    // as-is; the dumper's NaN-guard turns it into null.
+    v.set("value", value());
+    return v;
 }
 
 Scalar &
@@ -131,6 +187,21 @@ StatGroup::print(std::ostream &os, const std::string &prefix) const
         s->print(os, full + ".");
     for (const auto *c : children_)
         c->print(os, full);
+}
+
+json::Value
+StatGroup::toJson() const
+{
+    auto v = json::Value::object();
+    auto stats = json::Value::object();
+    for (const auto &s : stats_)
+        stats.set(s->name(), s->toJson());
+    v.set("stats", std::move(stats));
+    auto groups = json::Value::object();
+    for (const auto *c : children_)
+        groups.set(c->name(), c->toJson());
+    v.set("groups", std::move(groups));
+    return v;
 }
 
 } // namespace mtlbsim::stats

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "stats/json.hh"
 
 namespace mtlbsim::stats
 {
@@ -47,6 +48,13 @@ class StatBase
     virtual void print(std::ostream &os, const std::string &prefix)
         const = 0;
 
+    /**
+     * Structured value for machine consumption (golden files, the
+     * sweep runner). Every kind emits an object with a "kind" member;
+     * the remaining members are kind-specific (see docs/manual.md).
+     */
+    virtual json::Value toJson() const = 0;
+
   private:
     std::string name_;
     std::string desc_;
@@ -66,6 +74,7 @@ class Scalar : public StatBase
 
     void reset() override { value_ = 0; }
     void print(std::ostream &os, const std::string &prefix) const override;
+    json::Value toJson() const override;
 
   private:
     double value_ = 0;
@@ -90,6 +99,9 @@ class Average : public StatBase
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    /** With no samples the +/-inf tracking sentinels are never
+     *  reported: min()/max() read 0 and toJson() omits the members
+     *  entirely. */
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
 
@@ -103,6 +115,7 @@ class Average : public StatBase
     }
 
     void print(std::ostream &os, const std::string &prefix) const override;
+    json::Value toJson() const override;
 
   private:
     std::uint64_t count_ = 0;
@@ -165,6 +178,7 @@ class Histogram : public StatBase
     }
 
     void print(std::ostream &os, const std::string &prefix) const override;
+    json::Value toJson() const override;
 
   private:
     double lo_;
@@ -189,6 +203,8 @@ class Formula : public StatBase
 
     void reset() override {}
     void print(std::ostream &os, const std::string &prefix) const override;
+    /** Non-finite formula results (0/0 counters) serialize as null. */
+    json::Value toJson() const override;
 
   private:
     std::function<double()> fn_;
@@ -229,6 +245,14 @@ class StatGroup
 
     /** Dump "group.stat value # desc" lines, recursively. */
     void print(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Structured dump: {"stats": {name: ...}, "groups": {name: ...}},
+     * in registration order, recursively. Registration order is
+     * deterministic, so the serialized form is byte-stable across
+     * runs and thread schedules.
+     */
+    json::Value toJson() const;
 
   private:
     std::string name_;

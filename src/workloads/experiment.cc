@@ -29,6 +29,14 @@ runExperiment(const std::string &workload_name, double scale,
     if (config.check.enabled)
         sys.audit();
 
+    return collectMetrics(sys, workload_name);
+}
+
+ExperimentResult
+collectMetrics(System &sys, const std::string &workload_name)
+{
+    const SystemConfig &config = sys.config();
+
     ExperimentResult r;
     r.workload = workload_name;
     r.tlbEntries = config.tlbEntries;

@@ -49,6 +49,13 @@ ExperimentResult runExperiment(const std::string &workload_name,
                                double scale,
                                const SystemConfig &config);
 
+/**
+ * Extract the paper's headline metrics from an already-driven
+ * system (shared by runExperiment and the sweep runner).
+ */
+ExperimentResult collectMetrics(System &sys,
+                                const std::string &workload_name);
+
 /** Convenience: the paper's machine with a given CPU TLB size and
  *  MTLB presence/geometry (§3.4 defaults). */
 SystemConfig paperConfig(unsigned tlb_entries, bool mtlb_enabled,

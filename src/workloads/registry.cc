@@ -32,7 +32,7 @@ scaled(T value, double scale, T floor)
 } // namespace
 
 std::unique_ptr<Workload>
-makeWorkload(const std::string &name, double scale)
+makeWorkload(const std::string &name, double scale, std::uint64_t seed)
 {
     fatalIf(scale <= 0.0 || scale > 1.0,
             "workload scale must be in (0, 1], got ", scale);
@@ -40,6 +40,8 @@ makeWorkload(const std::string &name, double scale)
     if (name == "compress95") {
         CompressConfig c;
         c.inputChars = scaled(c.inputChars, scale, std::size_t{20'000});
+        if (seed)
+            c.seed = seed;
         return std::make_unique<CompressWorkload>(c);
     }
     if (name == "vortex") {
@@ -50,17 +52,23 @@ makeWorkload(const std::string &name, double scale)
             scaled(c.initialPreallocBytes, scale, Addr{256} * 1024);
         c.laterPreallocBytes =
             scaled(c.laterPreallocBytes, scale, Addr{64} * 1024);
+        if (seed)
+            c.seed = seed;
         return std::make_unique<VortexWorkload>(c);
     }
     if (name == "radix") {
         RadixConfig c;
         c.numKeys = scaled(c.numKeys, scale, std::size_t{16'384});
+        if (seed)
+            c.seed = seed;
         return std::make_unique<RadixWorkload>(c);
     }
     if (name == "em3d") {
         Em3dConfig c;
         c.numNodes = scaled(c.numNodes, scale, 600u);
         c.iterations = scaled(c.iterations, scale, 4u);
+        if (seed)
+            c.seed = seed;
         return std::make_unique<Em3dWorkload>(c);
     }
     if (name == "cc1") {
@@ -68,6 +76,8 @@ makeWorkload(const std::string &name, double scale)
         c.functions = scaled(c.functions, scale, 4u);
         c.preallocBytes =
             scaled(c.preallocBytes, scale, Addr{256} * 1024);
+        if (seed)
+            c.seed = seed;
         return std::make_unique<GccWorkload>(c);
     }
     if (name == "oltp") {
@@ -78,6 +88,8 @@ makeWorkload(const std::string &name, double scale)
         c.transactions = scaled(c.transactions, scale, 3'000u);
         c.preallocBytes =
             scaled(c.preallocBytes, scale, Addr{512} * 1024);
+        if (seed)
+            c.seed = seed;
         return std::make_unique<OltpWorkload>(c);
     }
     fatal("unknown workload '", name,

@@ -68,9 +68,13 @@ struct UserLayout
  * @param name  one of "compress95", "vortex", "radix", "em3d", "cc1"
  * @param scale 1.0 reproduces the paper's §3.1 sizes; smaller values
  *              shrink datasets proportionally (used by unit tests)
+ * @param seed  0 keeps each workload's fixed paper seed; any other
+ *              value overrides it (sweep jobs derive one per job, so
+ *              a job's trace depends only on its own identity)
  */
 std::unique_ptr<Workload> makeWorkload(const std::string &name,
-                                       double scale = 1.0);
+                                       double scale = 1.0,
+                                       std::uint64_t seed = 0);
 
 /** Names of all five §3.1 benchmarks, in the paper's order. */
 const std::vector<std::string> &allWorkloadNames();
