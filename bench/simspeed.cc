@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Simulator-speed benchmark: simulated accesses per host second.
+ *
+ * Measures host throughput — NOT simulated time — of the full Fig 3
+ * design space, with the L0 translation fast path disabled
+ * (cpu.l0_entries = 0, "baseline") and enabled ("fastpath"). The two
+ * modes must produce identical simulated cycle counts; the harness
+ * fatals if they diverge, making every speed run double as a
+ * behaviour-identity check.
+ *
+ * Emits BENCH_simspeed.json with both modes' before/after numbers so
+ * CI can archive the trend.
+ *
+ * Usage: simspeed [--quick] [--scale S] [--reps N] [--l0 N]
+ *                 [--out FILE]
+ *   --quick    tiny datasets (scale 0.02) for CI smoke runs
+ *   --scale S  workload scale factor (default 0.1)
+ *   --reps N   repetitions per mode; the fastest rep is reported
+ *              (default 1)
+ *   --l0 N     fast-path entries for the fastpath mode (default 512)
+ *   --out FILE write the JSON report here (default
+ *              BENCH_simspeed.json in the working directory)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "base/logging.hh"
+#include "stats/json.hh"
+#include "sweep/matrix.hh"
+#include "workloads/workload.hh"
+
+using namespace mtlbsim;
+
+namespace
+{
+
+struct ModeResult
+{
+    double seconds = 0.0;           ///< host seconds, fastest rep
+    std::uint64_t accesses = 0;     ///< simulated data accesses
+    std::uint64_t simCycles = 0;    ///< total simulated cycles
+    std::uint64_t l0Hits = 0;
+    std::uint64_t l0Misses = 0;
+
+    double
+    accessesPerSec() const
+    {
+        return seconds > 0 ? static_cast<double>(accesses) / seconds
+                           : 0.0;
+    }
+
+    double
+    l0HitRate() const
+    {
+        const std::uint64_t total = l0Hits + l0Misses;
+        return total ? static_cast<double>(l0Hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/** Run every job of @p matrix once with @p l0_entries fast-path
+ *  slots, timing the whole pass on the host clock. */
+ModeResult
+runMatrixOnce(const sweep::SweepMatrix &matrix, unsigned l0_entries)
+{
+    ModeResult r;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto &job : matrix.jobs) {
+        SystemConfig config = job.config;
+        config.cpu.l0Entries = l0_entries;
+        System sys(config);
+        auto workload = makeWorkload(job.workload, job.scale, job.seed);
+        workload->setup(sys);
+        workload->run(sys);
+        r.accesses += sys.cpu().dataAccesses();
+        r.simCycles += sys.cpu().now();
+        r.l0Hits += sys.cpu().l0().hitCount();
+        r.l0Misses += sys.cpu().l0().missCount();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return r;
+}
+
+/** Best-of-@p reps wall time; simulated counts must repeat exactly. */
+ModeResult
+runMode(const sweep::SweepMatrix &matrix, unsigned l0_entries,
+        unsigned reps)
+{
+    ModeResult best;
+    for (unsigned i = 0; i < reps; ++i) {
+        ModeResult r = runMatrixOnce(matrix, l0_entries);
+        if (i == 0) {
+            best = r;
+            continue;
+        }
+        fatalIf(r.simCycles != best.simCycles ||
+                    r.accesses != best.accesses,
+                "non-deterministic simulation across repetitions");
+        if (r.seconds < best.seconds) {
+            best.seconds = r.seconds;
+            best.l0Hits = r.l0Hits;
+            best.l0Misses = r.l0Misses;
+        }
+    }
+    return best;
+}
+
+json::Value
+modeToJson(const ModeResult &r, unsigned l0_entries)
+{
+    json::Value v = json::Value::object();
+    v.set("l0_entries", l0_entries);
+    v.set("host_seconds", r.seconds);
+    v.set("sim_accesses", r.accesses);
+    v.set("sim_cycles", r.simCycles);
+    v.set("accesses_per_host_sec", r.accessesPerSec());
+    if (l0_entries != 0) {
+        v.set("l0_hits", r.l0Hits);
+        v.set("l0_misses", r.l0Misses);
+        v.set("l0_hit_rate", r.l0HitRate());
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = 0.1;
+    unsigned reps = 1;
+    unsigned l0_entries = 512;
+    std::string out = "BENCH_simspeed.json";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            fatalIf(i + 1 >= argc, "missing value after ", arg);
+            return argv[++i];
+        };
+        if (arg == "--quick")
+            scale = 0.02;
+        else if (arg == "--scale")
+            scale = std::atof(next());
+        else if (arg == "--reps")
+            reps = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--l0")
+            l0_entries = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--out")
+            out = next();
+        else
+            fatal("unknown argument: ", arg);
+    }
+    fatalIf(reps == 0, "--reps must be at least 1");
+    fatalIf(l0_entries == 0, "--l0 must be nonzero (the baseline "
+            "mode already measures the disabled configuration)");
+    setInformEnabled(false);
+
+    std::printf("=== simspeed: host throughput over the Fig 3 matrix "
+                "(scale %.3f, %u rep%s)\n\n", scale, reps,
+                reps == 1 ? "" : "s");
+
+    const auto matrix = sweep::fig3Matrix(scale);
+
+    const ModeResult base = runMode(matrix, 0, reps);
+    const ModeResult fast = runMode(matrix, l0_entries, reps);
+
+    // The L0 fast path must not change simulated behaviour; catching
+    // a divergence here turns every speed run into a regression test.
+    fatalIf(fast.simCycles != base.simCycles ||
+                fast.accesses != base.accesses,
+            "L0 fast path changed simulated behaviour: baseline ",
+            base.simCycles, " cycles / ", base.accesses,
+            " accesses, fastpath ", fast.simCycles, " cycles / ",
+            fast.accesses, " accesses");
+
+    const double speedup =
+        fast.seconds > 0 ? base.seconds / fast.seconds : 0.0;
+
+    std::printf("%-22s  %12s  %16s  %10s\n", "mode", "host sec",
+                "accesses/sec", "L0 hit%");
+    std::printf("%-22s  %12.3f  %16.0f  %10s\n", "baseline (l0=0)",
+                base.seconds, base.accessesPerSec(), "-");
+    std::printf("%-22s  %12.3f  %16.0f  %9.1f%%\n",
+                ("fastpath (l0=" + std::to_string(l0_entries) + ")")
+                    .c_str(),
+                fast.seconds, fast.accessesPerSec(),
+                100.0 * fast.l0HitRate());
+    std::printf("\nspeedup: %.2fx  (%llu simulated accesses, "
+                "%llu simulated cycles, bit-identical across modes)\n",
+                speedup,
+                static_cast<unsigned long long>(base.accesses),
+                static_cast<unsigned long long>(base.simCycles));
+
+    json::Value doc = json::Value::object();
+    doc.set("bench", "simspeed");
+    doc.set("matrix", matrix.name);
+    doc.set("scale", scale);
+    doc.set("reps", reps);
+    doc.set("baseline", modeToJson(base, 0));
+    doc.set("fastpath", modeToJson(fast, l0_entries));
+    doc.set("speedup", speedup);
+
+    std::ofstream os(out);
+    fatalIf(!os, "cannot write ", out);
+    doc.dump(os);
+    os << "\n";
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+}

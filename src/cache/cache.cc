@@ -54,15 +54,19 @@ Cache::access(Addr vaddr, Addr paddr, bool write, Cycles now)
     // Evict the victim first; the write-back occupies the bus but the
     // fill does not wait for the memory write to complete (the MMC
     // buffers it), so only the bus-acceptance latency is serial.
-    if (line.valid && line.dirty) {
-        ++writeBacks_;
-        latency += backend_.writeBack(line.tag, now + latency);
+    if (line.valid) {
+        if (line.dirty) {
+            ++writeBacks_;
+            latency += backend_.writeBack(line.tag, now + latency);
+        }
+        noteLineDropped(line.tag);
     }
 
     const Cycles fill = backend_.lineFill(line_tag, write, now + latency);
     fillLatency_.sample(static_cast<double>(fill));
     latency += fill;
 
+    noteLineInstalled(line_tag);
     line.valid = true;
     line.dirty = write;
     line.tag = line_tag;
@@ -77,6 +81,15 @@ Cache::flushPage(Addr vaddr, Addr paddr, Cycles now)
     Cycles cost = 0;
 
     const unsigned lines_per_page = basePageSize >> cacheLineShift;
+
+    // Cold-page early-out: the per-page counters prove no line of
+    // this physical page is resident, so the probe loop below cannot
+    // hit. The flushing code still executes its full probe sequence
+    // in *simulated* time, so the cycle charge is identical.
+    if (residentInPage(pbase) == 0)
+        return static_cast<Cycles>(lines_per_page) *
+               config_.flushProbeCycles;
+
     for (unsigned i = 0; i < lines_per_page; ++i) {
         const Addr va = vbase + (static_cast<Addr>(i) << cacheLineShift);
         const Addr ptag = pbase + (static_cast<Addr>(i) << cacheLineShift);
@@ -88,6 +101,7 @@ Cache::flushPage(Addr vaddr, Addr paddr, Cycles now)
                 ++writeBacks_;
                 cost += backend_.writeBack(line.tag, now + cost);
             }
+            noteLineDropped(line.tag);
             line.valid = false;
             line.dirty = false;
         }
@@ -100,6 +114,7 @@ Cache::invalidateLine(Addr vaddr, Addr paddr)
 {
     Line &line = lines_[indexOf(vaddr, paddr)];
     if (line.valid && line.tag == lineBase(paddr)) {
+        noteLineDropped(line.tag);
         line.valid = false;
         line.dirty = false;
     }
@@ -112,6 +127,14 @@ Cache::invalidateAll()
         line.valid = false;
         line.dirty = false;
     }
+    linesInPage_.assign(linesInPage_.size(), 0);
+}
+
+unsigned
+Cache::residentInPage(Addr paddr) const
+{
+    const Addr page = pageFrame(paddr);
+    return page < linesInPage_.size() ? linesInPage_[page] : 0;
 }
 
 bool

@@ -144,6 +144,10 @@ class Cache
         return static_cast<std::uint64_t>(accesses_.value());
     }
 
+    /** Resident lines tagged with physical page @p paddr, from the
+     *  per-page counters (host-side bookkeeping; test support). */
+    unsigned residentInPage(Addr paddr) const;
+
   private:
     struct Line
     {
@@ -156,11 +160,39 @@ class Cache
      *  physical/shadow address otherwise. */
     unsigned indexOf(Addr vaddr, Addr paddr) const;
 
+    /** @name Per-page resident-line accounting
+     *
+     * linesInPage_[pageFrame(tag)] counts resident lines whose tag
+     * lies in that physical page, so flushPage() can prove "nothing
+     * of this page is cached" in O(1) instead of probing every
+     * candidate slot. Pure host-side bookkeeping: the simulated
+     * cycles charged are unchanged (§3.2's flush loop still runs its
+     * full probe count in simulated time). The vector grows lazily
+     * to the highest page frame ever cached.
+     */
+    /** @{ */
+    void
+    noteLineInstalled(Addr tag)
+    {
+        const Addr page = pageFrame(tag);
+        if (page >= linesInPage_.size())
+            linesInPage_.resize(page + 1, 0);
+        ++linesInPage_[page];
+    }
+
+    void
+    noteLineDropped(Addr tag)
+    {
+        --linesInPage_[pageFrame(tag)];
+    }
+    /** @} */
+
     CacheConfig config_;
     MemBackend &backend_;
     unsigned numLines_;
     unsigned indexMask_;
     std::vector<Line> lines_;
+    std::vector<std::uint32_t> linesInPage_;
 
     stats::StatGroup statGroup_;
     stats::Scalar &accesses_;

@@ -128,6 +128,23 @@ class FaultInjector
     }
 
     /**
+     * Corrupt the live L0 fast-path entry covering @p va so it names
+     * the wrong frame, as a missed epoch bump would (stale L0 entry).
+     * @p va must currently hit in the L0.
+     */
+    void
+    staleL0Entry(Addr va)
+    {
+#ifdef MTLBSIM_CHECK_TESTING
+        sys_.cpu().l0().testingCorruptEntry(
+            va, sys_.tlb().translationEpoch());
+#else
+        (void)va;
+        panic("fault injection requires MTLBSIM_CHECK_TESTING");
+#endif
+    }
+
+    /**
      * Feed one shadow-region address straight to the DRAM model, as
      * a buggy MMC that skipped MTLB translation would (shadow escape).
      */

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "cache/cache.hh"
+#include "cpu/l0_cache.hh"
 #include "mem/physmap.hh"
 #include "mmc/memsys.hh"
 #include "os/kernel.hh"
@@ -61,6 +62,7 @@ TranslationAuditor::collect()
     checkHptCoherence(report);
     checkDramGuard(report);
     checkStatsIdentities(report);
+    checkL0Coherence(report);
     return report;
 }
 
@@ -489,6 +491,51 @@ TranslationAuditor::checkStatsIdentities(AuditReport &report)
             violate(report, "stats-identities", "MTLB faults (",
                     mtlb.faults(), ") != MMC faults raised (",
                     mmc.faultsRaised(), ")");
+        }
+    }
+}
+
+void
+TranslationAuditor::checkL0Coherence(AuditReport &report)
+{
+    if (!l0_ || !l0_->enabled())
+        return;
+    ++report.checksRun;
+
+    const std::uint64_t epoch = tlb_.translationEpoch();
+    for (const L0Entry &e : l0_->auditState(epoch)) {
+        const Addr va = e.vpage << basePageShift;
+
+        if (e.tlbSlot >= tlb_.capacity()) {
+            violate(report, "l0-coherence", "live entry v=0x", std::hex,
+                    va, " bound to TLB slot ", std::dec, e.tlbSlot,
+                    " beyond capacity ", tlb_.capacity());
+            continue;
+        }
+        const TlbEntry &owner = tlb_.entryAt(e.tlbSlot);
+        if (!owner.covers(va)) {
+            violate(report, "l0-coherence", "live entry v=0x", std::hex,
+                    va, " bound to TLB slot ", std::dec, e.tlbSlot,
+                    " that no longer covers it");
+            continue;
+        }
+        if (pageBase(owner.translate(va)) != e.pframeBase) {
+            violate(report, "l0-coherence", "live entry v=0x", std::hex,
+                    va, " memoized frame base 0x", e.pframeBase,
+                    " but its TLB entry translates to 0x",
+                    pageBase(owner.translate(va)));
+        }
+        if (!(owner.prot == e.prot) || owner.sizeClass != e.sizeClass) {
+            violate(report, "l0-coherence", "live entry v=0x", std::hex,
+                    va,
+                    " protection/size-class differ from its TLB entry");
+        }
+        // The soundness condition for skipping the per-hit
+        // referenced-bit store (cpu/l0_cache.hh): a live L0 entry's
+        // owner must already be marked referenced.
+        if (!owner.referenced) {
+            violate(report, "l0-coherence", "live entry v=0x", std::hex,
+                    va, " whose TLB entry has a clear referenced bit");
         }
     }
 }

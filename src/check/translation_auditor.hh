@@ -33,6 +33,13 @@
  *  - stats-identities: accounting identities across components
  *    (cache accesses = hits + misses, MTLB lookups = MMC shadow
  *    ops, kernel trap count = TLB miss count, ...).
+ *  - l0-coherence: every *live* entry of the CPU's L0 translation
+ *    fast path (epoch matches the TLB's current translation epoch)
+ *    is bound to a valid, covering TLB entry whose translation,
+ *    protection, and size class it reproduces exactly, and whose
+ *    NRU referenced bit is set — the property that makes skipping
+ *    the per-hit referenced-bit store sound (see cpu/l0_cache.hh).
+ *    Runs only when an L0 cache is attached via attachL0().
  */
 
 #ifndef MTLBSIM_CHECK_TRANSLATION_AUDITOR_HH
@@ -50,6 +57,7 @@ namespace mtlbsim
 
 class Cache;
 class Kernel;
+class L0TranslationCache;
 class MemorySystem;
 class PhysMap;
 class Tlb;
@@ -68,6 +76,11 @@ class TranslationAuditor : public Checker
                        stats::StatGroup &parent);
 
     std::string name() const override { return "translation-auditor"; }
+
+    /** Attach the CPU's L0 fast path so audits include the
+     *  l0-coherence invariant. Optional: the auditor predates the
+     *  L0 cache and tests assemble it without one. */
+    void attachL0(const L0TranslationCache *l0) { l0_ = l0; }
 
     /** Run all checks; no policy applied. */
     AuditReport collect() override;
@@ -102,6 +115,7 @@ class TranslationAuditor : public Checker
     void checkHptCoherence(AuditReport &report);
     void checkDramGuard(AuditReport &report);
     void checkStatsIdentities(AuditReport &report);
+    void checkL0Coherence(AuditReport &report);
 
     CheckConfig config_;
     Tlb &tlb_;
@@ -109,6 +123,7 @@ class TranslationAuditor : public Checker
     MemorySystem &memsys_;
     Kernel &kernel_;
     const PhysMap &physMap_;
+    const L0TranslationCache *l0_ = nullptr;
 
     /** Scratch mark-vector over the user frame pool, reused across
      *  audits so periodic auditing does not allocate. */

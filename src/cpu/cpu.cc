@@ -8,6 +8,7 @@ Cpu::Cpu(const CpuConfig &config, Tlb &tlb, MicroItlb &uitlb,
          stats::StatGroup &parent)
     : config_(config), tlb_(tlb), uitlb_(uitlb), cache_(cache),
       memsys_(memsys), kernel_(kernel),
+      l0_(config.l0Entries),
       statGroup_("cpu"),
       instructions_(statGroup_.addScalar("instructions",
                                          "instructions retired")),
@@ -28,6 +29,22 @@ Cpu::Cpu(const CpuConfig &config, Tlb &tlb, MicroItlb &uitlb,
 Addr
 Cpu::translate(Addr vaddr, AccessType type)
 {
+    // L0 fast path: a live entry is a translation the full lookup
+    // below produced since the last mutation of translation state,
+    // so returning it is exact memoization. The permission tests
+    // mirror Tlb::lookup's; a would-be protection fault falls
+    // through so the slow path counts and reports it identically.
+    if (l0_.enabled()) {
+        const std::uint64_t epoch = tlb_.translationEpoch();
+        if (const L0Entry *e = l0_.lookup(vaddr, epoch)) {
+            if ((type != AccessType::Write || e->prot.writable) &&
+                e->prot.userAccessible) {
+                tlb_.noteL0Hit();
+                return e->pframeBase | pageOffset(vaddr);
+            }
+        }
+    }
+
     TlbLookupResult result = tlb_.lookup(vaddr, type, AccessMode::User);
     if (!result.hit) {
         // Trap to the software miss handler (§3.2). Its cycles are
@@ -38,6 +55,11 @@ Cpu::translate(Addr vaddr, AccessType type)
     }
     fatalIf(result.protFault,
             "protection fault at 0x", std::hex, vaddr);
+    if (l0_.enabled() && result.slot >= 0) {
+        l0_.fill(vaddr, tlb_.entryAt(static_cast<unsigned>(result.slot)),
+                 static_cast<unsigned>(result.slot),
+                 tlb_.translationEpoch());
+    }
     return result.paddr;
 }
 

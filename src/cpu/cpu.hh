@@ -27,6 +27,7 @@
 #include <functional>
 
 #include "cache/cache.hh"
+#include "cpu/l0_cache.hh"
 #include "mmc/memsys.hh"
 #include "os/kernel.hh"
 #include "stats/stats.hh"
@@ -45,6 +46,10 @@ struct CpuConfig
     /** Allow one outstanding store miss to drain in the background
      *  (non-blocking write-allocate with a 1-deep store buffer). */
     bool storeBuffer = true;
+    /** L0 translation fast-path entries (power of two; 0 disables).
+     *  A host-speed knob only: simulated behaviour and statistics
+     *  are bit-identical for every value (see l0_cache.hh). */
+    unsigned l0Entries = 512;
 };
 
 /**
@@ -119,6 +124,10 @@ class Cpu
     /** Current simulated time in CPU cycles. */
     Cycles now() const { return now_; }
 
+    /** The L0 translation fast path (bench/ and audit support). */
+    L0TranslationCache &l0() { return l0_; }
+    const L0TranslationCache &l0() const { return l0_; }
+
     Counter
     instructions() const
     {
@@ -157,6 +166,8 @@ class Cpu
     Cache &cache_;
     MemorySystem &memsys_;
     Kernel &kernel_;
+
+    L0TranslationCache l0_;
 
     Cycles now_ = 0;
     Cycles storeBufferBusyUntil_ = 0;

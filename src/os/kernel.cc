@@ -180,6 +180,9 @@ Kernel::mapPageToShadow(Addr vbase, Addr shadow_page, Cycles now,
         now + cycles);
 
     tlb_.purgeRange(vbase, basePageSize);
+    // purgeRange only bumps the translation epoch when it drops an
+    // entry; the mapping switched real->shadow regardless.
+    tlb_.bumpTranslationEpoch();
     space_->addSuperpage({vbase, shadow_page, 0});
     return cycles;
 }
@@ -208,6 +211,7 @@ Kernel::demoteSingleShadowPage(Addr vaddr, Cycles now)
                      0, region->prot}),
         true, now + cycles);
     tlb_.purgeRange(vbase, basePageSize);
+    tlb_.bumpTranslationEpoch(); // mapping switched shadow->real
     space_->removeSuperpage(vbase);
     pagePool().free(shadow_page);
     return cycles;
@@ -515,8 +519,10 @@ Kernel::remap(Addr vbase, Addr bytes, Cycles now, bool internal)
         }
 
         // Purge stale TLB mappings for the range and publish the
-        // superpage mapping.
+        // superpage mapping. The explicit epoch bump covers pages
+        // that had no TLB entry to purge (superpage promotion).
         tlb_.purgeRange(cursor, sp_size);
+        tlb_.bumpTranslationEpoch();
         uitlb_.invalidate();
         debugPrintf(traceFlag(), "remap: superpage v=0x", std::hex,
                     cursor, " -> shadow 0x", *shadow_base, std::dec,
@@ -615,6 +621,11 @@ Kernel::handleShadowPageFault(Addr vaddr, Cycles now)
         now + cycles,
         [&](Mmc &mmc) { return mmc.setShadowMapping(spi, pfn); });
 
+    // Frame reuse + MMC mapping change: the CPU-visible translation
+    // is untouched (§2.1), but invalidate the L0 fast path anyway so
+    // no memoized state can outlive a frame's identity.
+    tlb_.bumpTranslationEpoch();
+
     cycles += config_.trapExitCycles;
     return cycles;
 }
@@ -667,6 +678,8 @@ Kernel::swapOutSuperpagePagewise(Addr vbase, Cycles now)
     }
     // The CPU TLB superpage entry and the HPT mapping stay valid:
     // the MMC faults precisely on any access to a swapped base page.
+    // The freed frames may be reused, so drop every L0 memoization.
+    tlb_.bumpTranslationEpoch();
     return result;
 }
 
@@ -702,6 +715,8 @@ Kernel::swapOutSuperpageWhole(Addr vbase, Cycles now)
 
         frames_.free(space_->removeFrame(va));
     }
+    // As in the pagewise path: frames freed here may be reused.
+    tlb_.bumpTranslationEpoch();
     return result;
 }
 

@@ -142,6 +142,11 @@ setters()
          [](SystemConfig &c, const auto &k, const auto &v) {
              c.cpu.storeBuffer = parseBool(k, v);
          }},
+        {"cpu.l0_entries",
+         [](SystemConfig &c, const auto &k, const auto &v) {
+             c.cpu.l0Entries =
+                 static_cast<unsigned>(parseUnsigned(k, v));
+         }},
         {"kernel.superpages",
          [](SystemConfig &c, const auto &k, const auto &v) {
              c.kernel.superpagesEnabled = parseBool(k, v);

@@ -59,6 +59,7 @@ System::System(const SystemConfig &config)
     auditor_ = std::make_unique<TranslationAuditor>(
         config.check, *tlb_, *cache_, *memsys_, *kernel_, physMap_,
         rootStats_);
+    auditor_->attachL0(&cpu_->l0());
     if (config.check.enabled) {
         cpu_->setPeriodicCheck(config.check.interval,
                                [this](Cycles now) {

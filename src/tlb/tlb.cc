@@ -69,7 +69,7 @@ Tlb::lookup(Addr vaddr, AccessType type, AccessMode mode)
     }
 
     ++hits_;
-    return {true, false, entry.translate(vaddr)};
+    return {true, false, entry.translate(vaddr), idx};
 }
 
 unsigned
@@ -79,13 +79,17 @@ Tlb::pickVictim()
     // rotating clock hand; if every candidate is referenced, clear
     // all reference bits and take the first unpinned entry.
     for (int pass = 0; pass < 2; ++pass) {
+        // Wrap-around scan without division: nruClock_ is always in
+        // [0, numEntries_), so one compare-and-reset per step replaces
+        // the two modulo operations of the obvious formulation.
+        unsigned idx = nruClock_;
         for (unsigned i = 0; i < numEntries_; ++i) {
-            const unsigned idx = (nruClock_ + i) % numEntries_;
             const TlbEntry &e = entries_[idx];
             if (e.valid && !e.pinned && !e.referenced) {
-                nruClock_ = (idx + 1) % numEntries_;
+                nruClock_ = idx + 1 == numEntries_ ? 0 : idx + 1;
                 return idx;
             }
+            idx = idx + 1 == numEntries_ ? 0 : idx + 1;
         }
         // All referenced: age everything (the NRU epoch reset).
         for (auto &e : entries_) {
@@ -107,6 +111,8 @@ Tlb::dropEntry(unsigned idx)
     e.valid = false;
     e.pinned = false;
     freeList_.push_back(idx);
+    // The dropped entry may be memoized in the L0 fast path.
+    bumpTranslationEpoch();
 }
 
 void
@@ -151,6 +157,9 @@ Tlb::insert(Addr vbase, Addr pbase, unsigned size_class,
     index_[size_class][vbase >> pageShiftForClass(size_class)] = idx;
     ++liveInClass_[size_class];
     ++inserts_;
+    // A new mapping (and a possible NRU reference-bit reset inside
+    // pickVictim) invalidates every memoized L0 translation.
+    bumpTranslationEpoch();
 }
 
 void

@@ -99,6 +99,9 @@ struct TlbLookupResult
     bool hit = false;
     bool protFault = false; ///< hit, but the access is not permitted
     Addr paddr = 0;         ///< valid when hit && !protFault
+    /** Slot of the entry that hit (-1 on a miss); lets the CPU's L0
+     *  fast path memoize the translation without a second probe. */
+    int slot = -1;
 };
 
 /**
@@ -144,6 +147,38 @@ class Tlb
     /** Probe without updating NRU state or stats (test support). */
     std::optional<TlbEntry> probe(Addr vaddr) const;
 
+    /** The entry in @p slot (the L0 fast path fills from the slot a
+     *  lookup just hit; the auditor cross-checks L0 slot bindings). */
+    const TlbEntry &
+    entryAt(unsigned slot) const
+    {
+        panicIf(slot >= numEntries_, "TLB slot ", slot,
+                " out of range");
+        return entries_[slot];
+    }
+
+    /**
+     * @name Translation epoch (L0 fast-path invalidation)
+     *
+     * A monotonic counter bumped by every mutation of CPU-visible
+     * translation state. insert()/dropEntry()/purgeRange()/purgeAll()
+     * bump it internally; kernel paths that mutate translation state
+     * below the TLB (MTLB shadow-mapping changes, frame reuse on
+     * swap) call bumpTranslationEpoch() explicitly. L0 entries stamp
+     * the epoch at fill time and are live only while it matches, so
+     * one increment lazily invalidates every memoized translation.
+     */
+    /** @{ */
+    std::uint64_t translationEpoch() const { return epoch_; }
+    void bumpTranslationEpoch() { ++epoch_; }
+    /** @} */
+
+    /** Account an L0 fast-path hit. The slow path's bookkeeping on a
+     *  hit is one hits_ increment plus an (idempotent, see
+     *  l0_cache.hh) referenced-bit store, so this is all that is
+     *  needed to keep statistics bit-identical. */
+    void noteL0Hit() { ++hits_; }
+
     /** Snapshot of every valid entry, for the invariant auditor
      *  (src/check). Does not touch NRU state or statistics. */
     std::vector<TlbEntry> auditState() const;
@@ -173,6 +208,9 @@ class Tlb
     VpnMap index_[numPageSizeClasses];
     unsigned liveInClass_[numPageSizeClasses] = {};
     unsigned nruClock_ = 0; ///< rotating start point for victim scan
+    /** Translation epoch; starts at 1 so a zero-initialized L0 entry
+     *  can never appear live. */
+    std::uint64_t epoch_ = 1;
 
     stats::StatGroup statGroup_;
     stats::Scalar &hits_;

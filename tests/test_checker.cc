@@ -75,7 +75,7 @@ TEST(CheckerTest, CleanSystemPasses)
     for (const auto &v : report.violations)
         ADD_FAILURE() << "[" << v.invariant << "] " << v.detail;
     EXPECT_TRUE(report.clean());
-    EXPECT_EQ(report.checksRun, 8u);
+    EXPECT_EQ(report.checksRun, 9u);
 }
 
 TEST(CheckerTest, CleanNoMtlbSystemPasses)
@@ -150,6 +150,18 @@ TEST(CheckerTest, DetectsStaleTlbEntry)
     FaultInjector(sys).staleTlbEntry(dataBase + 6 * MB, 0x01000000);
     AuditReport report = sys.auditor().collect();
     EXPECT_TRUE(report.has("tlb-coherence"));
+}
+
+TEST(CheckerTest, DetectsStaleL0Entry)
+{
+    System sys(machine());
+    warmUp(sys);
+    // Refresh one L0 entry, then corrupt its memoized frame as a
+    // missed epoch bump would leave it.
+    sys.cpu().load(dataBase);
+    FaultInjector(sys).staleL0Entry(dataBase);
+    AuditReport report = sys.auditor().collect();
+    EXPECT_TRUE(report.has("l0-coherence"));
 }
 
 TEST(CheckerTest, DetectsShadowEscapeToDram)

@@ -39,6 +39,15 @@ TEST(ConfigParserTest, SetIndividualKeys)
     EXPECT_EQ(parser.config().cache.sizeBytes, Addr{256} << 10);
 }
 
+TEST(ConfigParserTest, L0EntriesKey)
+{
+    ConfigParser parser;
+    parser.set("cpu.l0_entries", "1024");
+    EXPECT_EQ(parser.config().cpu.l0Entries, 1024u);
+    parser.set("cpu.l0_entries", "0");
+    EXPECT_EQ(parser.config().cpu.l0Entries, 0u);
+}
+
 TEST(ConfigParserTest, BooleanSpellings)
 {
     ConfigParser parser;

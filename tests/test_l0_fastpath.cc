@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the L0 translation fast path (src/cpu/l0_cache.hh).
+ *
+ * Two obligations: (1) every kernel path that mutates translation
+ * state — purge, superpage promotion, recoloring, swap-out with its
+ * MTLB flush — invalidates the memoized entries via the translation
+ * epoch; (2) the fast path is invisible to the simulation: a machine
+ * with the L0 enabled produces byte-identical statistics to one with
+ * it disabled, on real workloads and on randomized access traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+using namespace mtlbsim;
+
+namespace
+{
+
+constexpr Addr MB = 1024 * 1024;
+constexpr Addr dataBase = 0x10000000;
+
+SystemConfig
+machine(unsigned l0_entries = 512, bool mtlb = true)
+{
+    SystemConfig c;
+    c.installedBytes = 64 * MB;
+    c.mtlbEnabled = mtlb;
+    c.cpu.l0Entries = l0_entries;
+    return c;
+}
+
+/** The live L0 entry covering @p va under the TLB's current epoch. */
+const L0Entry *
+liveEntry(System &sys, Addr va)
+{
+    return sys.cpu().l0().probe(va, sys.tlb().translationEpoch());
+}
+
+/** Drive the full stats tree into a string for byte comparison. */
+std::string
+statsDump(System &sys)
+{
+    std::ostringstream os;
+    sys.dumpStats(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(L0FastPath, MemoizesAndHitsOnRepeatedAccess)
+{
+    System sys(machine());
+    sys.kernel().addressSpace().addRegion("data", dataBase, MB, {});
+
+    sys.cpu().load(dataBase);           // slow path fills the L0
+    const L0Entry *e = liveEntry(sys, dataBase);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->vpage, dataBase >> basePageShift);
+
+    // The memoized frame agrees with the TLB's own translation.
+    const auto tlb_entry = sys.tlb().probe(dataBase);
+    ASSERT_TRUE(tlb_entry.has_value());
+    EXPECT_EQ(e->pframeBase, pageBase(tlb_entry->translate(dataBase)));
+
+    const std::uint64_t hits_before = sys.cpu().l0().hitCount();
+    sys.cpu().load(dataBase + 64);      // same page: must hit the L0
+    EXPECT_EQ(sys.cpu().l0().hitCount(), hits_before + 1);
+}
+
+TEST(L0FastPath, DisabledByConfig)
+{
+    System sys(machine(0));
+    sys.kernel().addressSpace().addRegion("data", dataBase, MB, {});
+
+    EXPECT_FALSE(sys.cpu().l0().enabled());
+    sys.cpu().load(dataBase);
+    sys.cpu().load(dataBase);
+    EXPECT_EQ(sys.cpu().l0().hitCount(), 0u);
+    EXPECT_EQ(sys.cpu().l0().missCount(), 0u);
+}
+
+TEST(L0FastPath, RejectsNonPowerOfTwoCapacity)
+{
+    EXPECT_THROW(L0TranslationCache(48), FatalError);
+    EXPECT_NO_THROW(L0TranslationCache(0));
+    EXPECT_NO_THROW(L0TranslationCache(64));
+}
+
+TEST(L0FastPath, PurgeInvalidates)
+{
+    System sys(machine());
+    sys.kernel().addressSpace().addRegion("data", dataBase, MB, {});
+
+    sys.cpu().load(dataBase);
+    ASSERT_NE(liveEntry(sys, dataBase), nullptr);
+
+    sys.tlb().purgeRange(dataBase, basePageSize);
+    EXPECT_EQ(liveEntry(sys, dataBase), nullptr);
+}
+
+TEST(L0FastPath, PromotionInvalidates)
+{
+    System sys(machine());
+    sys.kernel().addressSpace().addRegion("data", dataBase, 2 * MB, {});
+
+    // Materialise base pages first so the L0 holds their base-page
+    // translations, then promote the range to a shadow superpage.
+    for (Addr off = 0; off < MB; off += basePageSize)
+        sys.cpu().load(dataBase + off);
+    ASSERT_NE(liveEntry(sys, dataBase + MB - basePageSize), nullptr);
+
+    sys.cpu().remap(dataBase, MB);
+    EXPECT_EQ(liveEntry(sys, dataBase), nullptr);
+    EXPECT_EQ(liveEntry(sys, dataBase + MB - basePageSize), nullptr);
+    ASSERT_FALSE(sys.kernel().addressSpace().superpages().empty());
+}
+
+TEST(L0FastPath, RecoloringInvalidates)
+{
+    SystemConfig config = machine();
+    config.cache.virtuallyIndexed = false;  // recoloring's habitat
+    System sys(config);
+    sys.kernel().addressSpace().addRegion("data", dataBase, MB, {});
+
+    sys.cpu().load(dataBase);
+    ASSERT_NE(liveEntry(sys, dataBase), nullptr);
+
+    const unsigned color = sys.kernel().colorOf(dataBase);
+    sys.kernel().recolorPage(dataBase, (color + 1) % 128,
+                             sys.cpu().now());
+    EXPECT_EQ(liveEntry(sys, dataBase), nullptr);
+}
+
+TEST(L0FastPath, SwapOutMtlbFlushInvalidates)
+{
+    System sys(machine());
+    sys.kernel().addressSpace().addRegion("data", dataBase, MB, {});
+
+    sys.cpu().remap(dataBase, MB);
+    sys.cpu().load(dataBase);
+    ASSERT_NE(liveEntry(sys, dataBase), nullptr);
+
+    // Swap-out reuses the frames and flushes the MTLB: the memoized
+    // shadow translation would target a faulting page.
+    sys.kernel().swapOutSuperpagePagewise(dataBase, sys.cpu().now());
+    EXPECT_EQ(liveEntry(sys, dataBase), nullptr);
+}
+
+TEST(L0FastPath, DifferentialWorkloadStatsIdentical)
+{
+    // The whole simulated machine must be indistinguishable with the
+    // fast path on: run the same workload on both configurations and
+    // require byte-identical statistics trees.
+    auto run = [](unsigned l0_entries) {
+        System sys(machine(l0_entries));
+        auto workload = makeWorkload("em3d", 0.02);
+        workload->setup(sys);
+        workload->run(sys);
+        return std::make_pair(sys.cpu().now(), statsDump(sys));
+    };
+
+    const auto [cycles_off, stats_off] = run(0);
+    const auto [cycles_on, stats_on] = run(512);
+    EXPECT_EQ(cycles_off, cycles_on);
+    EXPECT_EQ(stats_off, stats_on);
+}
+
+TEST(L0FastPath, DifferentialRandomTraceStatsIdentical)
+{
+    // Randomized loads/stores with interleaved promotions and
+    // swap-outs, driven by a deterministic LCG: every translation-
+    // mutating path fires while the L0 is hot, and the stats must
+    // still match the disabled configuration byte for byte.
+    auto run = [](unsigned l0_entries) {
+        System sys(machine(l0_entries));
+        sys.kernel().addressSpace().addRegion("data", dataBase,
+                                              8 * MB, {});
+        std::uint64_t lcg = 0x2545F4914F6CDD1Dull;
+        auto next = [&lcg]() {
+            lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+            return lcg >> 33;
+        };
+        for (int i = 0; i < 20000; ++i) {
+            const Addr va = dataBase + (next() % (8 * MB));
+            if (next() % 3 == 0)
+                sys.cpu().store(va);
+            else
+                sys.cpu().load(va);
+            if (i == 5000)
+                sys.cpu().remap(dataBase, MB);
+            if (i == 10000)
+                sys.kernel().swapOutSuperpagePagewise(
+                    dataBase, sys.cpu().now());
+            if (i == 15000)
+                sys.tlb().purgeRange(dataBase + 2 * MB, MB);
+        }
+        return std::make_pair(sys.cpu().now(), statsDump(sys));
+    };
+
+    const auto [cycles_off, stats_off] = run(0);
+    const auto [cycles_on, stats_on] = run(256);
+    EXPECT_EQ(cycles_off, cycles_on);
+    EXPECT_EQ(stats_off, stats_on);
+}
+
+TEST(L0FastPath, ColdPageFlushCountersStayExact)
+{
+    // The cache's per-page resident-line counters power flushPage's
+    // cold-page early-out; the simulated cost must not depend on it.
+    System sys(machine());
+    sys.kernel().addressSpace().addRegion("data", dataBase, 2 * MB, {});
+
+    sys.cpu().load(dataBase);
+    const auto tlb_entry = sys.tlb().probe(dataBase);
+    ASSERT_TRUE(tlb_entry.has_value());
+    const Addr paddr = tlb_entry->translate(dataBase);
+    EXPECT_GE(sys.cache().residentInPage(paddr), 1u);
+
+    // Flushing a warm page and then the now-cold same page must
+    // charge the identical probe-loop cost for the cold pass.
+    const Cycles warm =
+        sys.cache().flushPage(dataBase, paddr, sys.cpu().now());
+    EXPECT_EQ(sys.cache().residentInPage(paddr), 0u);
+    const Cycles cold =
+        sys.cache().flushPage(dataBase, paddr, sys.cpu().now());
+    const unsigned lines_per_page = basePageSize >> cacheLineShift;
+    EXPECT_EQ(cold, lines_per_page * sys.cache().config().flushProbeCycles);
+    EXPECT_GE(warm, cold);
+}
