@@ -145,6 +145,61 @@ class FaultInjector
     }
 
     /**
+     * Rebind the OS record for the present page at @p va to a
+     * freshly allocated frame without telling the HPT, TLB, or
+     * shadow table — the old frame is orphaned and every cached
+     * translation names it (rebound frame).
+     */
+    void
+    rebindFrame(Addr va)
+    {
+#ifdef MTLBSIM_CHECK_TESTING
+        AddressSpace &space = sys_.kernel().addressSpace();
+        space.removeFrame(va);
+        space.installFrame(va, sys_.kernel().frames().allocate());
+#else
+        (void)va;
+        panic("fault injection requires MTLBSIM_CHECK_TESTING");
+#endif
+    }
+
+    /**
+     * Drop the HPT entry for the present base page at @p va: the
+     * page is still materialised but the miss handler can no longer
+     * reach it (lost HPT entry).
+     */
+    void
+    dropHptEntry(Addr va)
+    {
+#ifdef MTLBSIM_CHECK_TESTING
+        sys_.kernel().hpt().remove(pageBase(va), 0);
+#else
+        (void)va;
+        panic("fault injection requires MTLBSIM_CHECK_TESTING");
+#endif
+    }
+
+    /**
+     * Lose the dirty bit for the shadow page at @p spi: sync the
+     * MTLB's pending bits into the table, then clear the table's
+     * modified bit. The auditor cannot see this (the table is its
+     * ground truth); only a differential check against an
+     * independent reference model — the fuzzer's oracle — catches
+     * the clean-page misclassification at swap-out.
+     */
+    void
+    clearDirtyBit(Addr spi)
+    {
+#ifdef MTLBSIM_CHECK_TESTING
+        sys_.memsys().mmc().mtlb().purge(spi);
+        sys_.memsys().mmc().shadowTable().entry(spi).modified = 0;
+#else
+        (void)spi;
+        panic("fault injection requires MTLBSIM_CHECK_TESTING");
+#endif
+    }
+
+    /**
      * Feed one shadow-region address straight to the DRAM model, as
      * a buggy MMC that skipped MTLB translation would (shadow escape).
      */

@@ -1,0 +1,195 @@
+#include "fuzz/oracle.hh"
+
+#include <sstream>
+
+namespace mtlbsim::fuzz
+{
+
+namespace
+{
+
+std::string
+hexAddr(Addr a)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << a;
+    return os.str();
+}
+
+} // namespace
+
+void
+OracleMemory::addRegion(Addr base, Addr size, bool writable)
+{
+    regions_.push_back({base, size, writable});
+}
+
+void
+OracleMemory::onPageMapped(Addr vbase, Addr pfn)
+{
+    const Addr page = vpn(vbase);
+    if (frames_.count(page)) {
+        eventErrors_.push_back("onPageMapped for already-present page " +
+                               hexAddr(vbase));
+    }
+    frames_[page] = pfn;
+    // The kernel's materialise/swap-in paths install a fresh
+    // shadow-table entry (or none at all); either way the page's
+    // hardware R/D state starts clean.
+    referenced_.erase(page);
+    dirty_.erase(page);
+}
+
+void
+OracleMemory::onPageUnmapped(Addr vbase, Addr pfn)
+{
+    const Addr page = vpn(vbase);
+    auto it = frames_.find(page);
+    if (it == frames_.end()) {
+        eventErrors_.push_back("onPageUnmapped for absent page " +
+                               hexAddr(vbase));
+        return;
+    }
+    if (it->second != pfn) {
+        eventErrors_.push_back("onPageUnmapped frame mismatch at " +
+                               hexAddr(vbase));
+    }
+    frames_.erase(it);
+    referenced_.erase(page);
+    dirty_.erase(page);
+}
+
+void
+OracleMemory::onSuperpageCreated(Addr vbase, Addr shadow_base,
+                                 unsigned size_class)
+{
+    OracleSuperpage sp{vbase, shadow_base, size_class};
+    if (superpageCovering(vbase) != nullptr) {
+        eventErrors_.push_back("onSuperpageCreated over existing "
+                               "superpage at " + hexAddr(vbase));
+    }
+    superpages_[vbase] = sp;
+    // Every covered page's shadow PTE was rewritten by the kernel,
+    // which clears its R/D bits.
+    for (Addr va = vbase; va < vbase + sp.size(); va += basePageSize) {
+        referenced_.erase(vpn(va));
+        dirty_.erase(vpn(va));
+    }
+}
+
+void
+OracleMemory::onSuperpageDemoted(Addr vbase)
+{
+    auto it = superpages_.find(vbase);
+    if (it == superpages_.end()) {
+        eventErrors_.push_back("onSuperpageDemoted for unknown "
+                               "superpage at " + hexAddr(vbase));
+        return;
+    }
+    superpages_.erase(it);
+    // The page is republished at its real address; its shadow-table
+    // entry (and with it the hardware R/D state) is gone.
+    referenced_.erase(vpn(vbase));
+    dirty_.erase(vpn(vbase));
+}
+
+void
+OracleMemory::onShadowFault(Addr vaddr)
+{
+    if (superpageCovering(vaddr) == nullptr) {
+        eventErrors_.push_back("onShadowFault outside any superpage "
+                               "at " + hexAddr(vaddr));
+    }
+    if (present(vaddr)) {
+        eventErrors_.push_back("onShadowFault for a present page at " +
+                               hexAddr(vaddr));
+    }
+}
+
+void
+OracleMemory::noteAccess(Addr vaddr, bool store)
+{
+    const Addr page = vpn(vaddr);
+    referenced_.insert(page);
+    if (store)
+        dirty_.insert(page);
+}
+
+bool
+OracleMemory::present(Addr vaddr) const
+{
+    return frames_.count(vpn(vaddr)) != 0;
+}
+
+std::optional<Addr>
+OracleMemory::frameOf(Addr vaddr) const
+{
+    auto it = frames_.find(vpn(vaddr));
+    if (it == frames_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+const OracleRegion *
+OracleMemory::regionOf(Addr vaddr) const
+{
+    for (const auto &r : regions_) {
+        if (r.contains(vaddr))
+            return &r;
+    }
+    return nullptr;
+}
+
+bool
+OracleMemory::referenced(Addr vaddr) const
+{
+    return referenced_.count(vpn(vaddr)) != 0;
+}
+
+bool
+OracleMemory::dirty(Addr vaddr) const
+{
+    return dirty_.count(vpn(vaddr)) != 0;
+}
+
+const OracleSuperpage *
+OracleMemory::superpageCovering(Addr vaddr) const
+{
+    auto it = superpages_.upper_bound(vaddr);
+    if (it == superpages_.begin())
+        return nullptr;
+    --it;
+    return it->second.covers(vaddr) ? &it->second : nullptr;
+}
+
+unsigned
+OracleMemory::expectedPagewiseWrites(Addr vbase) const
+{
+    const OracleSuperpage *sp = superpageCovering(vbase);
+    if (sp == nullptr)
+        return 0;
+    unsigned writes = 0;
+    for (Addr va = sp->vbase; va < sp->vbase + sp->size();
+         va += basePageSize) {
+        if (present(va) && dirty(va))
+            ++writes;
+    }
+    return writes;
+}
+
+unsigned
+OracleMemory::expectedWholeWrites(Addr vbase) const
+{
+    const OracleSuperpage *sp = superpageCovering(vbase);
+    if (sp == nullptr)
+        return 0;
+    unsigned writes = 0;
+    for (Addr va = sp->vbase; va < sp->vbase + sp->size();
+         va += basePageSize) {
+        if (present(va))
+            ++writes;
+    }
+    return writes;
+}
+
+} // namespace mtlbsim::fuzz

@@ -1,0 +1,86 @@
+#include "fuzz/shrink.hh"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "fuzz/fuzzer.hh"
+
+namespace mtlbsim::fuzz
+{
+
+namespace
+{
+
+/** Does @p ops still fail with @p detector on a fresh run? */
+bool
+stillFails(const FuzzParams &params, const std::vector<FuzzOp> &ops,
+           const std::string &detector)
+{
+    Schedule schedule;
+    schedule.params = params;
+    schedule.params.numOps = static_cast<unsigned>(ops.size());
+    schedule.ops = ops;
+    const RunResult result = runSchedule(schedule);
+    return result.failed && result.failure.detector == detector;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkSchedule(const FuzzParams &params,
+               const std::vector<FuzzOp> &ops,
+               const std::string &detector, unsigned maxTrials)
+{
+    ShrinkResult result;
+    result.ops = ops;
+    result.detector = detector;
+
+    // The claimed failure must reproduce at all before spending any
+    // reduction effort on it.
+    ++result.trials;
+    result.stillFails = stillFails(params, result.ops, detector);
+    if (!result.stillFails)
+        return result;
+
+    // ddmin-style greedy pass: delete [i, i+len) chunks, halving len
+    // whenever a full sweep at that granularity removes nothing.
+    std::size_t len = std::max<std::size_t>(result.ops.size() / 2, 1);
+    while (len >= 1 && result.trials < maxTrials) {
+        bool removed_any = false;
+        std::size_t i = 0;
+        while (i < result.ops.size() && result.trials < maxTrials) {
+            const std::size_t n =
+                std::min(len, result.ops.size() - i);
+            std::vector<FuzzOp> candidate;
+            candidate.reserve(result.ops.size() - n);
+            candidate.insert(candidate.end(), result.ops.begin(),
+                             result.ops.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+            candidate.insert(candidate.end(),
+                             result.ops.begin() +
+                                 static_cast<std::ptrdiff_t>(i + n),
+                             result.ops.end());
+
+            ++result.trials;
+            if (!candidate.empty() &&
+                stillFails(params, candidate, detector)) {
+                result.ops = std::move(candidate);
+                removed_any = true;
+                // Same index now names the next chunk.
+            } else {
+                i += n;
+            }
+        }
+        if (len == 1 && !removed_any)
+            break;
+        if (!removed_any)
+            len /= 2;
+        else
+            len = std::min(len, std::max<std::size_t>(
+                                    result.ops.size() / 2, 1));
+    }
+
+    return result;
+}
+
+} // namespace mtlbsim::fuzz

@@ -114,6 +114,8 @@ Kernel::materialisePage(Addr vaddr, Cycles now)
 {
     const Addr pfn = frames_.allocate();
     space_->installFrame(vaddr, pfn);
+    if (observer_)
+        observer_->onPageMapped(pageBase(vaddr), pfn);
     Cycles cycles = zeroFill(pfn, now);
     // Install the PTE in the two-level page table.
     cycles += kernelAccess(space_->l2EntryAddr(vaddr), true,
@@ -184,6 +186,8 @@ Kernel::mapPageToShadow(Addr vbase, Addr shadow_page, Cycles now,
     // entry; the mapping switched real->shadow regardless.
     tlb_.bumpTranslationEpoch();
     space_->addSuperpage({vbase, shadow_page, 0});
+    if (observer_)
+        observer_->onSuperpageCreated(vbase, shadow_page, 0);
     return cycles;
 }
 
@@ -214,6 +218,8 @@ Kernel::demoteSingleShadowPage(Addr vaddr, Cycles now)
     tlb_.bumpTranslationEpoch(); // mapping switched shadow->real
     space_->removeSuperpage(vbase);
     pagePool().free(shadow_page);
+    if (observer_)
+        observer_->onSuperpageDemoted(vbase);
     return cycles;
 }
 
@@ -430,9 +436,34 @@ Kernel::remap(Addr vbase, Addr bytes, Cycles now, bool internal)
             }
         }
 
-        unsigned c = maximalClassAt(cursor, end);
-        if (c == 0)
+        // A genuine superpage may also start above the cursor but
+        // inside the largest chunk that would otherwise fit. A new
+        // superpage must never span it: its pages already have live
+        // shadow mappings, and installing a second spi for the same
+        // frame double-maps it. Cap the chunk at the first such
+        // superpage; the skip above steps over it next iteration.
+        Addr chunk_end = end;
+        for (auto it = space_->superpages().upper_bound(cursor);
+             it != space_->superpages().end() &&
+             it->second.vbase < chunk_end;
+             ++it) {
+            if (it->second.sizeClass != 0) {
+                chunk_end = it->second.vbase;
+                break;
+            }
+        }
+
+        unsigned c = maximalClassAt(cursor, chunk_end);
+        if (c == 0) {
+            if (chunk_end < end) {
+                // Blocked before the capped boundary; resume at the
+                // existing superpage so the skip above advances past
+                // it.
+                cursor = chunk_end;
+                continue;
+            }
             break;
+        }
 
         // Allocate a shadow region, falling back to smaller classes
         // when the preferred bucket is exhausted.
@@ -528,6 +559,8 @@ Kernel::remap(Addr vbase, Addr bytes, Cycles now, bool internal)
                     cursor, " -> shadow 0x", *shadow_base, std::dec,
                     " class ", c);
         space_->addSuperpage({cursor, *shadow_base, c});
+        if (observer_)
+            observer_->onSuperpageCreated(cursor, *shadow_base, c);
         ++remapSuperpages_;
 
         cursor += sp_size;
@@ -599,6 +632,8 @@ Kernel::handleShadowPageFault(Addr vaddr, Cycles now)
     (void)now;
     ++shadowFaults_;
     ++pagesSwappedIn_;
+    if (observer_)
+        observer_->onShadowFault(vaddr);
 
     const ShadowSuperpage *sp = space_->findSuperpage(vaddr);
     panicIf(sp == nullptr,
@@ -611,6 +646,8 @@ Kernel::handleShadowPageFault(Addr vaddr, Cycles now)
     // Read the page back from disk into a fresh frame.
     const Addr pfn = frames_.allocate();
     space_->installFrame(vaddr, pfn);
+    if (observer_)
+        observer_->onPageMapped(pageBase(vaddr), pfn);
     cycles += config_.diskReadCycles;
 
     // Reinstall the shadow mapping; the CPU TLB superpage entry was
@@ -635,6 +672,8 @@ Kernel::swapOutSuperpagePagewise(Addr vbase, Cycles now)
 {
     const ShadowSuperpage *sp = space_->findSuperpage(vbase);
     fatalIf(sp == nullptr, "no shadow superpage at 0x", std::hex, vbase);
+    if (observer_)
+        observer_->onSwapOut(sp->vbase, true);
 
     SwapOutResult result;
     result.cycles = config_.syscallOverheadCycles;
@@ -645,6 +684,17 @@ Kernel::swapOutSuperpagePagewise(Addr vbase, Cycles now)
         if (!space_->isPagePresent(va))
             continue;  // already swapped out
 
+        // Cleaning flushes all the page's lines from the cache; tags
+        // are shadow addresses after remap. The flush must precede
+        // the dirty-bit read below: a store that hit a shared-filled
+        // line dirties it in the cache without any memory traffic,
+        // so its write-back is what carries the modification to the
+        // MTLB — reading first would see a stale clean bit and lose
+        // the page's data.
+        result.cycles += cache_.flushPage(
+            va, sp->shadowBase + (i << basePageShift),
+            now + result.cycles);
+
         // Read the per-base-page dirty bit the MTLB maintains (§2.5).
         ShadowPte pte{};
         result.cycles += memsys_.controlOp(
@@ -652,12 +702,6 @@ Kernel::swapOutSuperpagePagewise(Addr vbase, Cycles now)
                 pte = mmc.readShadowEntry(spi0 + i);
                 return Cycles{8};
             });
-
-        // Cleaning flushes all the page's lines from the cache; tags
-        // are shadow addresses after remap.
-        result.cycles += cache_.flushPage(
-            va, sp->shadowBase + (i << basePageShift),
-            now + result.cycles);
 
         if (pte.modified) {
             // Only dirty base pages travel to disk — the payoff of
@@ -674,7 +718,10 @@ Kernel::swapOutSuperpagePagewise(Addr vbase, Cycles now)
                 return mmc.invalidateShadowMapping(spi0 + i);
             });
 
-        frames_.free(space_->removeFrame(va));
+        const Addr pfn = space_->removeFrame(va);
+        if (observer_)
+            observer_->onPageUnmapped(va, pfn);
+        frames_.free(pfn);
     }
     // The CPU TLB superpage entry and the HPT mapping stay valid:
     // the MMC faults precisely on any access to a swapped base page.
@@ -688,6 +735,8 @@ Kernel::swapOutSuperpageWhole(Addr vbase, Cycles now)
 {
     const ShadowSuperpage *sp = space_->findSuperpage(vbase);
     fatalIf(sp == nullptr, "no shadow superpage at 0x", std::hex, vbase);
+    if (observer_)
+        observer_->onSwapOut(sp->vbase, false);
 
     SwapOutResult result;
     result.cycles = config_.syscallOverheadCycles;
@@ -713,7 +762,10 @@ Kernel::swapOutSuperpageWhole(Addr vbase, Cycles now)
                 return mmc.invalidateShadowMapping(spi0 + i);
             });
 
-        frames_.free(space_->removeFrame(va));
+        const Addr pfn = space_->removeFrame(va);
+        if (observer_)
+            observer_->onPageUnmapped(va, pfn);
+        frames_.free(pfn);
     }
     // As in the pagewise path: frames freed here may be reused.
     tlb_.bumpTranslationEpoch();

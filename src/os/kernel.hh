@@ -134,6 +134,71 @@ struct KernelLayout
     static constexpr Addr firstUserPfn = framePoolBase >> basePageShift;
 };
 
+/**
+ * Narrow observer interface over the kernel's mapping events.
+ *
+ * Every mutation of the ground-truth vpage->frame mapping — and of
+ * the superpage records layered over it — is announced through one
+ * of these callbacks, at the point where the kernel's own records
+ * have just been updated. The lockstep differential fuzzer
+ * (src/fuzz) maintains its flat reference model from exactly these
+ * events; nothing in the kernel reads the observer back, so
+ * attaching one cannot perturb simulated behaviour or statistics.
+ *
+ * Contract (see docs/manual.md §10):
+ *  - onPageMapped fires whenever a base page gains a real frame
+ *    (demand-zero materialisation and shadow-fault swap-in). The
+ *    page's shadow-table R/D bits, if any, are clean afterwards.
+ *  - onPageUnmapped fires whenever a base page loses its frame
+ *    (both swap-out flavours), after the kernel dropped its record.
+ *  - onSuperpageCreated fires after a shadow superpage record is
+ *    installed (remap(), all-shadow single-page mappings, and
+ *    recoloring; sizeClass 0 denotes a single-page mapping). Every
+ *    covered page's shadow PTE was rewritten, so its R/D bits are
+ *    clean.
+ *  - onSuperpageDemoted fires after a single-page shadow mapping is
+ *    retired and the page republished at its real address.
+ *  - onShadowFault fires on entry to the precise-MTLB-fault handler,
+ *    before the onPageMapped it will cause.
+ *  - onSwapOut fires on entry to either swap-out flavour, before
+ *    the per-page onPageUnmapped events.
+ */
+class KernelObserver
+{
+  public:
+    virtual ~KernelObserver() = default;
+
+    virtual void onPageMapped(Addr vbase, Addr pfn)
+    {
+        (void)vbase;
+        (void)pfn;
+    }
+
+    virtual void onPageUnmapped(Addr vbase, Addr pfn)
+    {
+        (void)vbase;
+        (void)pfn;
+    }
+
+    virtual void
+    onSuperpageCreated(Addr vbase, Addr shadow_base, unsigned size_class)
+    {
+        (void)vbase;
+        (void)shadow_base;
+        (void)size_class;
+    }
+
+    virtual void onSuperpageDemoted(Addr vbase) { (void)vbase; }
+
+    virtual void onShadowFault(Addr vaddr) { (void)vaddr; }
+
+    virtual void onSwapOut(Addr vbase, bool pagewise)
+    {
+        (void)vbase;
+        (void)pagewise;
+    }
+};
+
 /** Result of an sbrk() call. */
 struct SbrkResult
 {
@@ -251,6 +316,11 @@ class Kernel
     Hpt &hpt() { return hpt_; }
     ShadowAllocator &shadowAllocator() { return *shadowAlloc_; }
 
+    /** Attach (or detach, with nullptr) a mapping-event observer.
+     *  At most one observer is supported; it must outlive the
+     *  kernel or be detached first. */
+    void setObserver(KernelObserver *observer) { observer_ = observer; }
+
     const KernelConfig &config() const { return config_; }
 
     /** Total cycles spent inside handleTlbMiss (Fig 3's miss time). */
@@ -337,6 +407,7 @@ class Kernel
 
     KernelConfig config_;
     const PhysMap &physMap_;
+    KernelObserver *observer_ = nullptr;
     Tlb &tlb_;
     MicroItlb &uitlb_;
     Cache &cache_;

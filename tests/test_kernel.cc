@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "mmc/memsys.hh"
 #include "os/kernel.hh"
 
@@ -309,6 +311,104 @@ TEST_F(KernelFixture, WholeSwapWritesEveryPage)
         kernel.swapOutSuperpageWhole(0x10000000, 10000);
     EXPECT_EQ(result.pagesWritten, 16u);    // conventional superpage
     EXPECT_EQ(result.pagesClean, 0u);
+}
+
+TEST_F(KernelFixture, PagewiseSwapFlushesCacheBeforeReadingDirtyBit)
+{
+    // A store that hits a shared-filled line dirties it in the cache
+    // with no memory traffic at all: the modification reaches the
+    // MTLB only when the line is written back. The pagewise swap
+    // must therefore flush the page's lines *before* reading the
+    // dirty bit — reading first would see a stale clean bit and
+    // drop the page's data.
+    addData();
+    kernel.remap(0x10000000, 64 * 1024, 0);
+    const ShadowSuperpage *sp =
+        kernel.addressSpace().findSuperpage(0x10000000);
+
+    cache.access(0x10000000, sp->shadowBase, false, 0);  // shared fill
+    cache.access(0x10000000, sp->shadowBase, true, 10);  // silent hit
+
+    const auto result =
+        kernel.swapOutSuperpagePagewise(0x10000000, 10000);
+    EXPECT_EQ(result.pagesWritten, 1u);
+    EXPECT_EQ(result.pagesClean, 15u);
+}
+
+TEST_F(KernelFixture, WholeSwapWritesOnlyPresentPages)
+{
+    // The conventional-superpage flavour writes every *present* page
+    // regardless of dirtiness; pages already on disk are skipped.
+    addData();
+    kernel.remap(0x10000000, 64 * 1024, 0);
+    kernel.swapOutSuperpagePagewise(0x10000000, 10000);
+
+    // Reload exactly one base page.
+    kernel.handleShadowPageFault(0x10000000 + 3 * basePageSize, 20000);
+
+    const auto result =
+        kernel.swapOutSuperpageWhole(0x10000000, 30000);
+    EXPECT_EQ(result.pagesWritten, 1u);
+    EXPECT_EQ(result.pagesClean, 0u);
+}
+
+TEST_F(KernelFixture, PagewiseSwapSeesMtlbDeferredDirtyBits)
+{
+    // The dirty bit may still be deferred in the MTLB (never synced
+    // to the in-DRAM table) when the swap runs; readShadowEntry must
+    // surface it anyway.
+    addData();
+    kernel.remap(0x10000000, 16 * 1024, 0);
+    const ShadowSuperpage *sp =
+        kernel.addressSpace().findSuperpage(0x10000000);
+    memsys.lineFill(sp->shadowBase + basePageSize, true, 0);
+
+    const auto result =
+        kernel.swapOutSuperpagePagewise(0x10000000, 10000);
+    EXPECT_EQ(result.pagesWritten, 1u);
+    EXPECT_EQ(result.pagesClean, 3u);
+}
+
+TEST_F(KernelFixture, RemapNeverSpansAnExistingSuperpage)
+{
+    // Regression (found by the differential fuzzer): a remap whose
+    // maximal aligned chunk would swallow a superpage that starts
+    // *inside* the chunk must cap the chunk instead — building over
+    // it would double-map every frame the old superpage covers.
+    addData();
+    kernel.remap(0x100c4000, 16 * 1024, 0);      // 16 KB superpage
+    kernel.remap(0x100b4000, 256 * 1024, 0);     // spans it
+
+    // The original superpage survives untouched...
+    const ShadowSuperpage *old_sp =
+        kernel.addressSpace().findSuperpage(0x100c4000);
+    ASSERT_NE(old_sp, nullptr);
+    EXPECT_EQ(old_sp->vbase, 0x100c4000u);
+    EXPECT_EQ(old_sp->sizeClass, 1u);
+
+    // ...and no two superpage records overlap.
+    Addr prev_end = 0;
+    for (const auto &[vbase, sp] :
+         kernel.addressSpace().superpages()) {
+        EXPECT_GE(vbase, prev_end);
+        prev_end = vbase + sp.size();
+    }
+
+    // Every shadow PTE maps a distinct real frame.
+    std::set<Addr> frames;
+    for (const auto &[vbase, sp] :
+         kernel.addressSpace().superpages()) {
+        const Addr spi0 = map.shadowPageIndex(sp.shadowBase);
+        for (Addr i = 0; i < sp.numBasePages(); ++i) {
+            const ShadowPte pte =
+                memsys.mmc().shadowTable().entry(spi0 + i);
+            if (!pte.valid)
+                continue;
+            EXPECT_TRUE(frames.insert(pte.realPfn).second)
+                << "frame 0x" << std::hex << pte.realPfn
+                << " double-mapped";
+        }
+    }
 }
 
 TEST_F(KernelFixture, SwapLeavesTlbSuperpageEntryIntact)

@@ -129,6 +129,55 @@ TEST_F(MtlbFixture, EvictionWritesBitsBack)
     EXPECT_TRUE(table.entry(0).modified);
 }
 
+TEST_F(MtlbFixture, EvictionWritesReferencedOnlyForCleanReads)
+{
+    // A shared-filled (read-only) entry evicted by set pressure
+    // writes back referenced but must not invent a modified bit.
+    table.set(0, 0x100);
+    table.set(4, 0x104);
+    table.set(8, 0x108);
+    mtlb.translate(0, MtlbAccess::SharedFill);
+    mtlb.translate(4, MtlbAccess::SharedFill);
+    mtlb.translate(8, MtlbAccess::SharedFill);  // evicts index 0
+    EXPECT_TRUE(table.entry(0).referenced);
+    EXPECT_FALSE(table.entry(0).modified);
+}
+
+TEST_F(MtlbFixture, EvictionWritesBitsAccumulatedAcrossHits)
+{
+    // R from the fill plus M from a later write-back hit both ride
+    // the eviction write-back; neither touched DRAM in between
+    // (deferred mode).
+    table.set(0, 0x100);
+    table.set(4, 0x104);
+    table.set(8, 0x108);
+    mtlb.translate(0, MtlbAccess::SharedFill);
+    mtlb.translate(0, MtlbAccess::WriteBack);   // hit, accrues M
+    EXPECT_FALSE(table.entry(0).modified);      // still deferred
+    mtlb.translate(4, MtlbAccess::SharedFill);
+    mtlb.translate(8, MtlbAccess::SharedFill);  // evicts index 0
+    EXPECT_TRUE(table.entry(0).referenced);
+    EXPECT_TRUE(table.entry(0).modified);
+}
+
+TEST_F(MtlbFixture, EvictionWithoutFreshBitsWritesNothing)
+{
+    // An entry refilled from a table that already records R carries
+    // no new information; its eviction must not rewrite the table.
+    // (Observable: bits cleared behind the MTLB's back stay clear.)
+    table.set(0, 0x100);
+    mtlb.translate(0, MtlbAccess::SharedFill);
+    mtlb.syncAccessBits();                      // R now in the table
+    mtlb.purgeAll();
+    mtlb.translate(0, MtlbAccess::SharedFill);  // refill; R already set
+    table.entry(0).referenced = 0;              // ECC scrub, say
+    table.set(4, 0x104);
+    table.set(8, 0x108);
+    mtlb.translate(4, MtlbAccess::SharedFill);
+    mtlb.translate(8, MtlbAccess::SharedFill);  // evicts index 0
+    EXPECT_FALSE(table.entry(0).referenced);
+}
+
 TEST_F(MtlbFixture, SetAssociativeConflicts)
 {
     // Three pages mapping to the same set of a 2-way MTLB cannot all

@@ -14,6 +14,8 @@
 #include <set>
 
 #include "base/random.hh"
+#include "fuzz/fuzzer.hh"
+#include "fuzz/schedule.hh"
 #include "mmc/memsys.hh"
 #include "sim/system.hh"
 #include "tlb/tlb.hh"
@@ -288,3 +290,111 @@ TEST(SweepProperty, MtlbMissesImproveWithAssociativity)
     EXPECT_GE(misses_for(1), misses_for(2));
     EXPECT_GE(misses_for(2), misses_for(4));
 }
+
+/* ------------------------------------------------------------------ */
+/* Degenerate machine shapes: every invariant must hold at the        */
+/* corners of the config space, not just at the paper's sizes. Each   */
+/* shape runs a lockstep differential-fuzz schedule with the full     */
+/* auditor after every op; any invariant violation fails the run.     */
+/* ------------------------------------------------------------------ */
+
+namespace
+{
+
+struct DegenerateShape
+{
+    const char *name;
+    unsigned tlbEntries;
+    unsigned mtlbEntries;
+    unsigned mtlbAssoc;
+    unsigned l0Entries;
+    Addr installedBytes;    ///< 0 = keep the fuzz default (16 MB)
+    bool swapPressure;      ///< hand-crafted swap-heavy schedule
+};
+
+/** Deterministic swap-heavy op stream for a machine whose frame
+ *  pool (installed minus the 8 MB kernel reservation) is smaller
+ *  than the data region: progress is only possible because swaps
+ *  free frames. */
+std::vector<fuzz::FuzzOp> swapPressureOps()
+{
+    using fuzz::FuzzOp;
+    using fuzz::OpKind;
+    constexpr Addr quarter = 256 * 1024;    // 64 base pages
+
+    std::vector<FuzzOp> ops;
+    ops.push_back({OpKind::Remap, fuzz::fuzzDataBase, quarter});
+    for (Addr off = 0; off < quarter; off += basePageSize)
+        ops.push_back({OpKind::Store, fuzz::fuzzDataBase + off, 0});
+    ops.push_back({OpKind::SwapPagewise, fuzz::fuzzDataBase, 0});
+
+    ops.push_back({OpKind::Remap, fuzz::fuzzDataBase + quarter,
+                   quarter});
+    for (Addr off = 0; off < quarter; off += basePageSize) {
+        ops.push_back({OpKind::Store,
+                       fuzz::fuzzDataBase + quarter + off, 0});
+    }
+    ops.push_back({OpKind::SwapWhole, fuzz::fuzzDataBase + quarter,
+                   0});
+
+    // Fault the first region back in (shadow faults + swap-ins),
+    // then swap it out again half-dirty.
+    for (Addr off = 0; off < quarter; off += basePageSize) {
+        const bool dirty = (off >> basePageShift) % 2 == 0;
+        ops.push_back({dirty ? OpKind::Store : OpKind::Load,
+                       fuzz::fuzzDataBase + off, 0});
+    }
+    ops.push_back({OpKind::SwapPagewise, fuzz::fuzzDataBase, 0});
+    return ops;
+}
+
+} // namespace
+
+class DegenerateConfigSweep
+    : public ::testing::TestWithParam<DegenerateShape>
+{};
+
+TEST_P(DegenerateConfigSweep, AuditorStaysClean)
+{
+    const DegenerateShape &shape = GetParam();
+
+    fuzz::FuzzParams params;
+    params.seed = 13;
+    params.auditEvery = 1;
+    params.tlbEntries = shape.tlbEntries;
+    params.mtlbEntries = shape.mtlbEntries;
+    params.mtlbAssoc = shape.mtlbAssoc;
+    params.l0Entries = shape.l0Entries;
+    if (shape.installedBytes != 0)
+        params.installedBytes = shape.installedBytes;
+
+    fuzz::Schedule schedule;
+    schedule.params = params;
+    if (shape.swapPressure) {
+        schedule.ops = swapPressureOps();
+        schedule.params.numOps =
+            static_cast<unsigned>(schedule.ops.size());
+    } else {
+        schedule.params.numOps = 400;
+        schedule = fuzz::generateSchedule(schedule.params);
+    }
+
+    const fuzz::RunResult result = fuzz::runSchedule(schedule);
+    EXPECT_FALSE(result.failed)
+        << shape.name << ": op " << result.failure.opIndex << " ["
+        << result.failure.detector << "] " << result.failure.detail;
+    EXPECT_EQ(result.opsExecuted, schedule.ops.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DegenerateConfigSweep,
+    ::testing::Values(
+        DegenerateShape{"one_entry_tlb", 1, 8, 2, 512, 0, false},
+        DegenerateShape{"one_set_mtlb", 8, 2, 2, 512, 0, false},
+        DegenerateShape{"no_l0", 8, 8, 2, 0, 0, false},
+        DegenerateShape{"one_entry_l0", 8, 8, 2, 1, 0, false},
+        DegenerateShape{"tiny_memory_swaps", 8, 8, 2, 512,
+                        0x00880000, true}),
+    [](const ::testing::TestParamInfo<DegenerateShape> &info) {
+        return info.param.name;
+    });

@@ -8,7 +8,11 @@
 #   4. (optional, --tsan) the thread-sanitized test suite,
 #   5. (optional, --tidy) clang-tidy over src/.
 #
-# Usage: tools/check.sh [--tsan] [--tidy] [-j N]
+# Usage: tools/check.sh [--tsan] [--tidy] [--labels L] [-j N]
+#
+# --labels L restricts every ctest invocation to tests carrying the
+# given ctest LABEL (unit | property | golden | fuzz; comma/regex
+# accepted, passed straight to `ctest -L`).
 
 set -euo pipefail
 
@@ -17,16 +21,24 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 run_tsan=0
 run_tidy=0
+labels=""
 while [ $# -gt 0 ]; do
     case "$1" in
         --tsan) run_tsan=1 ;;
         --tidy) run_tidy=1 ;;
+        --labels) shift; labels=$1 ;;
         -j) shift; jobs=$1 ;;
-        *) echo "usage: tools/check.sh [--tsan] [--tidy] [-j N]" >&2
+        *) echo "usage: tools/check.sh [--tsan] [--tidy]" \
+                "[--labels L] [-j N]" >&2
            exit 2 ;;
     esac
     shift
 done
+
+label_args=()
+if [ -n "$labels" ]; then
+    label_args=(-L "$labels")
+fi
 
 step() { printf '\n== %s ==\n' "$*"; }
 
@@ -37,18 +49,18 @@ cmake --build --preset werror -j "$jobs"
 step "test suite (default build)"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$jobs"
-ctest --preset default -j "$jobs"
+ctest --preset default -j "$jobs" "${label_args[@]}"
 
 step "test suite (address + undefined sanitizers)"
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$jobs"
-ctest --preset asan-ubsan -j "$jobs"
+ctest --preset asan-ubsan -j "$jobs" "${label_args[@]}"
 
 if [ "$run_tsan" = 1 ]; then
     step "test suite (thread sanitizer)"
     cmake --preset tsan >/dev/null
     cmake --build --preset tsan -j "$jobs"
-    ctest --preset tsan -j "$jobs"
+    ctest --preset tsan -j "$jobs" "${label_args[@]}"
 fi
 
 if [ "$run_tidy" = 1 ]; then
