@@ -115,7 +115,9 @@ enableFromList(const std::string &list)
 void
 initFromEnvironment()
 {
-    if (const char *env = std::getenv("MTLBSIM_DEBUG"))
+    // Debug-trace selection is allowed to read the environment: it
+    // only toggles stderr logging, never simulated behaviour.
+    if (const char *env = std::getenv("MTLBSIM_DEBUG")) // mtlb-lint: allow(R5)
         enableFromList(env);
 }
 

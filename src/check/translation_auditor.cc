@@ -498,11 +498,30 @@ TranslationAuditor::checkStatsIdentities(AuditReport &report)
 void
 TranslationAuditor::checkL0Coherence(AuditReport &report)
 {
+    // The epoch-wrap discipline (Tlb::bumpTranslationEpoch) holds
+    // whether or not an L0 is attached: 0 marks a never-filled L0
+    // entry, so a current epoch of 0 would make stale entries look
+    // permanently live the moment an L0 is enabled.
+    const std::uint64_t epoch = tlb_.translationEpoch();
+    if (epoch == 0) {
+        violate(report, "l0-coherence",
+                "translation epoch is 0; the wrap guard must skip it");
+    }
+
     if (!l0_ || !l0_->enabled())
         return;
     ++report.checksRun;
 
-    const std::uint64_t epoch = tlb_.translationEpoch();
+    // Entries are stamped from the current epoch at fill time, so no
+    // stamp may run ahead of it — a from-the-future stamp is
+    // invisible to auditState() yet would spring back to life when
+    // the epoch catches up to it.
+    if (l0_->maxStampedEpoch() > epoch) {
+        violate(report, "l0-coherence", "an L0 entry is stamped with "
+                "future epoch ", l0_->maxStampedEpoch(),
+                " (current ", epoch, ")");
+    }
+
     for (const L0Entry &e : l0_->auditState(epoch)) {
         const Addr va = e.vpage << basePageShift;
 

@@ -133,6 +133,23 @@ class L0TranslationCache
         return live;
     }
 
+    /** Largest epoch stamped on any entry, live or stale (0 when the
+     *  array was never filled). Entries are stamped from the TLB's
+     *  current epoch at fill time, so this must never run ahead of
+     *  Tlb::translationEpoch(); the auditor asserts that
+     *  (TranslationAuditor::checkL0Coherence) because a from-the-future
+     *  stamp is invisible to auditState() yet would spring back to
+     *  life when the epoch catches up. */
+    std::uint64_t
+    maxStampedEpoch() const
+    {
+        std::uint64_t max = 0;
+        for (const L0Entry &e : entries_)
+            if (e.epoch > max)
+                max = e.epoch;
+        return max;
+    }
+
     /** @name Host-side performance counters (never simulated stats) */
     /** @{ */
     std::uint64_t hitCount() const { return hitCount_; }

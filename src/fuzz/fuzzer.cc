@@ -39,10 +39,13 @@ makeSystemConfig(const FuzzParams &p)
     // thousand ops on the deliberately thrashing TLB.
     cfg.kernel.promotionThresholdCycles = 2000;
     cfg.kernel.frameSeed = p.frameSeed;
-    // The shadow region stays at the default 512 MB: the kernel's
-    // bucket allocator partitions the whole region up front and
-    // requires it to fit. Pressure comes from the small TLB, MTLB,
-    // cache, and installed memory instead.
+    // The shadow region defaults to the paper's 512 MB; the kernel's
+    // bucket allocator scales its partition to whatever it gets
+    // (BucketShadowAllocator::partitionFor). The model checker
+    // shrinks it so per-state audits stay cheap; fuzzing keeps the
+    // default and gets pressure from the small TLB, MTLB, cache, and
+    // installed memory instead.
+    cfg.shadow.size = p.shadowBytes;
     return cfg;
 }
 

@@ -167,6 +167,7 @@ paramsToJson(const FuzzParams &params)
     v.set("l0_entries", json::Value(params.l0Entries));
     v.set("installed_bytes", json::Value(params.installedBytes));
     v.set("cache_bytes", json::Value(params.cacheBytes));
+    v.set("shadow_bytes", json::Value(params.shadowBytes));
     v.set("all_shadow", json::Value(params.allShadowMode));
     v.set("online_promotion", json::Value(params.onlinePromotion));
     v.set("frame_seed", json::Value(params.frameSeed));
@@ -186,6 +187,10 @@ paramsFromJson(const json::Value &v)
     p.l0Entries = static_cast<unsigned>(u64Member(v, "l0_entries"));
     p.installedBytes = u64Member(v, "installed_bytes");
     p.cacheBytes = u64Member(v, "cache_bytes");
+    // Optional: traces recorded before the field existed replay with
+    // the historical default.
+    if (v.find("shadow_bytes") != nullptr)
+        p.shadowBytes = u64Member(v, "shadow_bytes");
     p.allShadowMode = boolMember(v, "all_shadow");
     p.onlinePromotion = boolMember(v, "online_promotion");
     p.frameSeed = u64Member(v, "frame_seed");

@@ -95,6 +95,12 @@ struct FuzzParams
     unsigned l0Entries = 512;
     Addr installedBytes = Addr{16} * 1024 * 1024;
     Addr cacheBytes = Addr{16} * 1024;
+    /** Shadow region size. The kernel's bucket allocator partitions
+     *  whatever it gets (BucketShadowAllocator::partitionFor); the
+     *  model checker (src/model) shrinks this so per-state audits
+     *  stay cheap. Pre-existing traces without the field replay with
+     *  the historical 512 MB. */
+    Addr shadowBytes = Addr{512} * 1024 * 1024;
     bool allShadowMode = false;
     bool onlinePromotion = true;
     std::uint64_t frameSeed = 12345;

@@ -76,7 +76,7 @@ Kernel::Kernel(const KernelConfig &config, const PhysMap &physmap,
     if (physmap.shadowRange().size > 0) {
         shadowAlloc_ = std::make_unique<BucketShadowAllocator>(
             physmap.shadowRange(),
-            BucketShadowAllocator::defaultPartition());
+            BucketShadowAllocator::partitionFor(physmap.shadowRange()));
     }
 }
 

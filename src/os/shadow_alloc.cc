@@ -18,6 +18,25 @@ BucketShadowAllocator::defaultPartition()
     return p;       // total: 512 MB (Figure 2)
 }
 
+BucketShadowAllocator::Partition
+BucketShadowAllocator::partitionFor(const AddrRange &shadow)
+{
+    const Partition def = defaultPartition();
+    constexpr Addr defaultBytes = Addr{512} * 1024 * 1024;
+    Partition p{};
+    for (unsigned c = minShadowSizeClass; c <= maxShadowSizeClass; ++c) {
+        const Addr size = pageSizeForClass(c);
+        const Addr def_bytes = def[c] * size;
+        // def_bytes * shadow.size / defaultBytes, split to avoid
+        // overflow for very large shadow regions.
+        const Addr bytes = shadow.size / defaultBytes * def_bytes +
+                           shadow.size % defaultBytes * def_bytes /
+                               defaultBytes;
+        p[c] = bytes / size;
+    }
+    return p;
+}
+
 BucketShadowAllocator::BucketShadowAllocator(const AddrRange &shadow,
                                              const Partition &partition)
     : shadow_(shadow)

@@ -75,6 +75,16 @@ class BucketShadowAllocator : public ShadowAllocator
     static Partition defaultPartition();
 
     /**
+     * Figure 2's partition scaled to an arbitrary shadow region:
+     * each class keeps the same *byte* share it has of the default
+     * 512 MB, rounded down to whole regions (classes whose share
+     * rounds to zero get no regions). For a 512 MB region this is
+     * exactly defaultPartition(); tiny regions (the model checker's
+     * few MB) get proportionally few small regions.
+     */
+    static Partition partitionFor(const AddrRange &shadow);
+
+    /**
      * @param shadow    the shadow region to carve up
      * @param partition regions per size class; must fit in shadow
      */

@@ -20,15 +20,28 @@ ShadowPagePool::ShadowPagePool(ShadowAllocator &backing,
 bool
 ShadowPagePool::refill()
 {
-    const auto block = backing_.allocate(refillClass);
-    if (!block)
-        return false;
-    const Addr pages = pageSizeForClass(refillClass) >> basePageShift;
-    for (Addr i = 0; i < pages; ++i) {
-        const Addr page = *block + (i << basePageShift);
-        freeByColor_[colorOf(page)].push_back(page);
+    // Prefer large blocks (fewer backing allocations). When the
+    // preferred bucket is exhausted — or was never populated, as with
+    // the model checker's 4 MB shadow region whose partition has no
+    // 1 MB regions at all — fall back to smaller classes, down to the
+    // smallest block that still covers every color once (anything
+    // smaller would make allocateColored() unable to satisfy some
+    // colors from a fresh block).
+    unsigned min_class = minShadowSizeClass;
+    while ((pageSizeForClass(min_class) >> basePageShift) < numColors_)
+        ++min_class;
+    for (unsigned c = refillClass + 1; c-- > min_class;) {
+        const auto block = backing_.allocate(c);
+        if (!block)
+            continue;
+        const Addr pages = pageSizeForClass(c) >> basePageShift;
+        for (Addr i = 0; i < pages; ++i) {
+            const Addr page = *block + (i << basePageShift);
+            freeByColor_[colorOf(page)].push_back(page);
+        }
+        return true;
     }
-    return true;
+    return false;
 }
 
 std::optional<Addr>

@@ -77,8 +77,9 @@ class ShadowPagePool
     /** Free pages bucketed by color. */
     std::vector<std::vector<Addr>> freeByColor_;
 
-    /** Block class used for refills: 1 MB covers every color of a
-     *  512 KB cache twice. */
+    /** Preferred block class for refills: 1 MB covers every color of
+     *  a 512 KB cache twice. refill() falls back to smaller classes
+     *  when this one is exhausted. */
     static constexpr unsigned refillClass = 4;
 };
 

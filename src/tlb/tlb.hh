@@ -170,8 +170,27 @@ class Tlb
      */
     /** @{ */
     std::uint64_t translationEpoch() const { return epoch_; }
-    void bumpTranslationEpoch() { ++epoch_; }
+
+    /**
+     * Advance the epoch. Wrap-safe: a 64-bit counter bumped once per
+     * simulated cycle at the paper's 240 MHz would take ~2400 years
+     * to wrap, but if it ever does, 0 is skipped — 0 marks a
+     * never-filled L0 entry, so an epoch of 0 would make stale
+     * entries look permanently live (the auditor asserts both sides
+     * of this, see TranslationAuditor::checkL0Coherence).
+     */
+    void
+    bumpTranslationEpoch()
+    {
+        if (++epoch_ == 0)
+            epoch_ = 1;
+    }
     /** @} */
+
+    /** NRU victim-scan start point (canonical-state capture by the
+     *  model checker, src/model; replacement behaviour depends on
+     *  it). */
+    unsigned nruClock() const { return nruClock_; }
 
     /** Account an L0 fast-path hit. The slow path's bookkeeping on a
      *  hit is one hits_ increment plus an (idempotent, see

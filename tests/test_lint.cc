@@ -1,0 +1,410 @@
+/**
+ * mtlb-lint rule-engine tests: per-rule positive/negative/suppressed
+ * fixtures over synthetic repo trees, plus the two properties the
+ * tool exists for — the real repository lints clean, and deleting a
+ * real epoch bump or observer hook from the kernel is caught at the
+ * right location.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "lint/lexer.hh"
+#include "lint/lint.hh"
+
+namespace fs = std::filesystem;
+using mtlblint::Finding;
+using mtlblint::RulesConfig;
+using mtlblint::runLint;
+
+namespace
+{
+
+/** A scratch repo tree, deleted on destruction. */
+class TempTree
+{
+  public:
+    TempTree()
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        root_ = fs::path(::testing::TempDir()) /
+                (std::string("mtlb_lint_") + info->test_suite_name() +
+                 "_" + info->name());
+        fs::remove_all(root_);
+        fs::create_directories(root_);
+    }
+
+    ~TempTree() { fs::remove_all(root_); }
+
+    void
+    write(const std::string &rel, const std::string &content)
+    {
+        const fs::path p = root_ / rel;
+        fs::create_directories(p.parent_path());
+        std::ofstream os(p);
+        os << content;
+    }
+
+    std::string root() const { return root_.string(); }
+
+  private:
+    fs::path root_;
+};
+
+/** Minimal R1/R2 rules: one mutator, one hook, one pair. */
+RulesConfig
+kernelRules()
+{
+    RulesConfig cfg;
+    cfg.scanDirs = {"src"};
+    cfg.kernelFile = "src/os/kernel.cc";
+    cfg.mutators = {{"", "setShadowMapping"}};
+    cfg.hooks = {"onPageMapped", "onSuperpageCreated"};
+    cfg.pairs = {{"installFrame", "onPageMapped"}};
+    return cfg;
+}
+
+std::string
+messages(const std::vector<Finding> &fs)
+{
+    std::ostringstream os;
+    for (const auto &f : fs)
+        os << mtlblint::format(f) << "\n";
+    return os.str();
+}
+
+} // namespace
+
+TEST(LintR1, EveryPathBumpedIsClean)
+{
+    TempTree t;
+    t.write("src/os/kernel.cc",
+            "void f(Mmc &mmc, int x)\n"
+            "{\n"
+            "    mmc.setShadowMapping(1, 2);\n"
+            "    if (x) {\n"
+            "        tlb_.bumpTranslationEpoch();\n"
+            "        return;\n"
+            "    }\n"
+            "    tlb_.bumpTranslationEpoch();\n"
+            "}\n");
+    const auto fs = runLint(t.root(), kernelRules(), {"R1"});
+    EXPECT_TRUE(fs.empty()) << messages(fs);
+}
+
+TEST(LintR1, PathWithoutBumpIsFlagged)
+{
+    TempTree t;
+    t.write("src/os/kernel.cc",
+            "int f(Mmc &mmc, int x)\n"
+            "{\n"
+            "    mmc.setShadowMapping(1, 2);\n"   // line 3
+            "    if (x)\n"
+            "        return 0;\n"
+            "    tlb_.bumpTranslationEpoch();\n"
+            "    return 1;\n"
+            "}\n");
+    const auto fs = runLint(t.root(), kernelRules(), {"R1"});
+    ASSERT_EQ(fs.size(), 1u) << messages(fs);
+    EXPECT_EQ(fs[0].id, "R1");
+    EXPECT_EQ(fs[0].file, "src/os/kernel.cc");
+    EXPECT_EQ(fs[0].line, 3);
+    EXPECT_NE(fs[0].message.find("'f'"), std::string::npos);
+}
+
+TEST(LintR1, MissingBumpAtEndOfBodyIsFlagged)
+{
+    TempTree t;
+    t.write("src/os/kernel.cc",
+            "void f(Mmc &mmc)\n"
+            "{\n"
+            "    mmc.setShadowMapping(1, 2);\n"
+            "}\n");
+    const auto fs = runLint(t.root(), kernelRules(), {"R1"});
+    ASSERT_EQ(fs.size(), 1u) << messages(fs);
+    EXPECT_EQ(fs[0].line, 3);
+}
+
+TEST(LintR1, SuppressionCommentSilences)
+{
+    TempTree t;
+    t.write("src/os/kernel.cc",
+            "void f(Mmc &mmc)\n"
+            "{\n"
+            "    // mtlb-lint: allow(R1)\n"
+            "    mmc.setShadowMapping(1, 2);\n"
+            "}\n");
+    const auto fs = runLint(t.root(), kernelRules(), {"R1"});
+    EXPECT_TRUE(fs.empty()) << messages(fs);
+}
+
+TEST(LintR2, MutatorWithoutAnyHookIsFlagged)
+{
+    TempTree t;
+    t.write("src/os/kernel.cc",
+            "void f(Mmc &mmc)\n"
+            "{\n"
+            "    mmc.setShadowMapping(1, 2);\n"
+            "    tlb_.bumpTranslationEpoch();\n"
+            "}\n");
+    const auto fs = runLint(t.root(), kernelRules(), {"R2"});
+    ASSERT_EQ(fs.size(), 1u) << messages(fs);
+    EXPECT_EQ(fs[0].id, "R2");
+    EXPECT_EQ(fs[0].line, 3);
+}
+
+TEST(LintR2, HookFiringMakesMutatorClean)
+{
+    TempTree t;
+    t.write("src/os/kernel.cc",
+            "void f(Mmc &mmc)\n"
+            "{\n"
+            "    mmc.setShadowMapping(1, 2);\n"
+            "    tlb_.bumpTranslationEpoch();\n"
+            "    if (observer_)\n"
+            "        observer_->onSuperpageCreated(0, 0, 1);\n"
+            "}\n");
+    const auto fs = runLint(t.root(), kernelRules(), {"R2"});
+    EXPECT_TRUE(fs.empty()) << messages(fs);
+}
+
+TEST(LintR2, PairedCalleeWithoutItsHookIsFlagged)
+{
+    TempTree t;
+    // installFrame requires onPageMapped specifically; firing some
+    // *other* hook must not satisfy the pair rule.
+    t.write("src/os/kernel.cc",
+            "void f(Space &space)\n"
+            "{\n"
+            "    space.installFrame(0, 1);\n"    // line 3
+            "    if (observer_)\n"
+            "        observer_->onSuperpageCreated(0, 0, 1);\n"
+            "}\n");
+    const auto fs = runLint(t.root(), kernelRules(), {"R2"});
+    ASSERT_EQ(fs.size(), 1u) << messages(fs);
+    EXPECT_EQ(fs[0].line, 3);
+    EXPECT_NE(fs[0].message.find("onPageMapped"), std::string::npos);
+}
+
+TEST(LintR3, OrphanStatMemberIsFlagged)
+{
+    TempTree t;
+    RulesConfig cfg;
+    cfg.scanDirs = {"src"};
+    cfg.statAdders = {"addScalar"};
+    t.write("src/x.hh",
+            "#ifndef MTLBSIM_X_HH\n"
+            "#define MTLBSIM_X_HH\n"
+            "struct X {\n"
+            "    stats::Scalar &good_;\n"
+            "    stats::Scalar &orphan_;\n"      // line 5
+            "};\n"
+            "#endif // MTLBSIM_X_HH\n");
+    t.write("src/x.cc",
+            "X::X(stats::StatGroup &g)\n"
+            "    : good_(g.addScalar(\"good\", \"a stat\")) {}\n");
+    const auto fs = runLint(t.root(), cfg, {"R3"});
+    ASSERT_EQ(fs.size(), 1u) << messages(fs);
+    EXPECT_EQ(fs[0].id, "R3");
+    EXPECT_EQ(fs[0].file, "src/x.hh");
+    EXPECT_EQ(fs[0].line, 5);
+    EXPECT_NE(fs[0].message.find("orphan_"), std::string::npos);
+}
+
+TEST(LintR3, SuppressionSilencesOrphan)
+{
+    TempTree t;
+    RulesConfig cfg;
+    cfg.scanDirs = {"src"};
+    cfg.statAdders = {"addScalar"};
+    t.write("src/x.hh",
+            "#ifndef MTLBSIM_X_HH\n"
+            "#define MTLBSIM_X_HH\n"
+            "struct X {\n"
+            "    stats::Scalar &orphan_; // mtlb-lint: allow(R3)\n"
+            "};\n"
+            "#endif // MTLBSIM_X_HH\n");
+    const auto fs = runLint(t.root(), cfg, {"R3"});
+    EXPECT_TRUE(fs.empty()) << messages(fs);
+}
+
+TEST(LintR4, ThreeWayKeyParity)
+{
+    TempTree t;
+    RulesConfig cfg;
+    cfg.scanDirs = {"src"};
+    cfg.configSource = "src/parser.cc";
+    cfg.configDirs = {"configs"};
+    cfg.docFile = "docs/manual.md";
+    cfg.docSection = "5.";
+    // Parser accepts tlb.entries (documented) and mtlb.assoc
+    // (neither set nor documented -> finding). The cfg file sets
+    // dead.key which the parser does not accept -> finding. The
+    // manual documents ghost.key -> finding.
+    t.write("src/parser.cc",
+            "void parse() {\n"
+            "    set(\"tlb.entries\");\n"
+            "    set(\"mtlb.assoc\");\n"         // line 3
+            "}\n");
+    t.write("configs/a.cfg",
+            "tlb.entries = 64\n"
+            "dead.key = 1\n");                   // line 2
+    t.write("docs/manual.md",
+            "## 5. Configuration keys\n"
+            "| `tlb.entries` | entries |\n"
+            "| `ghost.key` | gone |\n");         // line 3
+    const auto fs = runLint(t.root(), cfg, {"R4"});
+    ASSERT_EQ(fs.size(), 3u) << messages(fs);
+    // Findings sort by file: configs/a.cfg, docs/manual.md,
+    // src/parser.cc.
+    EXPECT_EQ(fs[0].file, "configs/a.cfg");
+    EXPECT_EQ(fs[0].line, 2);
+    EXPECT_NE(fs[0].message.find("dead.key"), std::string::npos);
+    EXPECT_EQ(fs[1].file, "docs/manual.md");
+    EXPECT_EQ(fs[1].line, 3);
+    EXPECT_NE(fs[1].message.find("ghost.key"), std::string::npos);
+    EXPECT_EQ(fs[2].file, "src/parser.cc");
+    EXPECT_EQ(fs[2].line, 3);
+    EXPECT_NE(fs[2].message.find("mtlb.assoc"), std::string::npos);
+}
+
+TEST(LintR5, BannedConstructsAndExemptions)
+{
+    TempTree t;
+    RulesConfig cfg;
+    cfg.scanDirs = {"src"};
+    cfg.banned = {"new", "rand"};
+    cfg.bannedExempt = {"src/sweep"};
+    cfg.guardStrip = {"src/"};
+    t.write("src/a.cc",
+            "void f() {\n"
+            "    int *p = new int;\n"            // line 2
+            "    int r = rand();\n"              // line 3
+            "}\n");
+    t.write("src/sweep/b.cc",
+            "void g() { int *p = new int; }\n"); // exempt dir
+    const auto fs = runLint(t.root(), cfg, {"R5"});
+    ASSERT_EQ(fs.size(), 2u) << messages(fs);
+    EXPECT_EQ(fs[0].line, 2);
+    EXPECT_NE(fs[0].message.find("naked 'new'"), std::string::npos);
+    EXPECT_EQ(fs[1].line, 3);
+    EXPECT_NE(fs[1].message.find("rand"), std::string::npos);
+}
+
+TEST(LintR5, IncludeGuardConformance)
+{
+    TempTree t;
+    RulesConfig cfg;
+    cfg.scanDirs = {"src"};
+    cfg.guardStrip = {"src/"};
+    t.write("src/tlb/good.hh",
+            "#ifndef MTLBSIM_TLB_GOOD_HH\n"
+            "#define MTLBSIM_TLB_GOOD_HH\n"
+            "#endif\n");
+    t.write("src/tlb/bad.hh",
+            "#ifndef WRONG_GUARD_HH\n"
+            "#define WRONG_GUARD_HH\n"
+            "#endif\n");
+    const auto fs = runLint(t.root(), cfg, {"R5"});
+    ASSERT_EQ(fs.size(), 1u) << messages(fs);
+    EXPECT_EQ(fs[0].file, "src/tlb/bad.hh");
+    EXPECT_NE(fs[0].message.find("MTLBSIM_TLB_BAD_HH"),
+              std::string::npos);
+}
+
+TEST(LintLexer, SuppressionsAndStringsSurviveTokenizing)
+{
+    TempTree t;
+    t.write("src/s.cc",
+            "// mtlb-lint: allow(R1, R5)\n"
+            "const char *k = \"tlb.entries\";\n");
+    const auto src = mtlblint::tokenizeFile(
+        t.root() + "/src/s.cc", "src/s.cc");
+    EXPECT_TRUE(mtlblint::suppressed(src, 1, "R1", "epoch-discipline"));
+    EXPECT_TRUE(mtlblint::suppressed(src, 1, "R5", "hygiene"));
+    // The suppression also covers the line below the comment.
+    EXPECT_TRUE(mtlblint::suppressed(src, 2, "R5", "hygiene"));
+    EXPECT_FALSE(mtlblint::suppressed(src, 2, "R3",
+                                      "stats-registration"));
+    bool sawKey = false;
+    for (const auto &tok : src.tokens) {
+        if (tok.kind == mtlblint::TokKind::String &&
+            tok.text == "tlb.entries") {
+            sawKey = true;
+        }
+    }
+    EXPECT_TRUE(sawKey);
+}
+
+#ifdef MTLBSIM_REPO_ROOT
+
+TEST(LintSelfHost, RepositoryLintsClean)
+{
+    const std::string root = MTLBSIM_REPO_ROOT;
+    const RulesConfig cfg =
+        RulesConfig::load(root + "/tools/lint/rules.cfg");
+    const auto fs = runLint(root, cfg);
+    EXPECT_TRUE(fs.empty()) << messages(fs);
+}
+
+namespace
+{
+
+/** Copy the real kernel.cc into a scratch tree with the first line
+ *  containing @p needle deleted; return the lint findings for
+ *  @p rules over the mutated file. */
+std::vector<Finding>
+lintWithDeletedLine(TempTree &t, const std::string &needle,
+                    const std::set<std::string> &rules)
+{
+    std::ifstream is(std::string(MTLBSIM_REPO_ROOT) +
+                     "/src/os/kernel.cc");
+    EXPECT_TRUE(is.good());
+    std::ostringstream out;
+    std::string line;
+    bool deleted = false;
+    while (std::getline(is, line)) {
+        if (!deleted && line.find(needle) != std::string::npos) {
+            deleted = true;
+            continue;
+        }
+        out << line << "\n";
+    }
+    EXPECT_TRUE(deleted) << "needle not found: " << needle;
+    t.write("src/os/kernel.cc", out.str());
+
+    const std::string root = MTLBSIM_REPO_ROOT;
+    RulesConfig cfg = RulesConfig::load(root + "/tools/lint/rules.cfg");
+    return runLint(t.root(), cfg, rules);
+}
+
+} // namespace
+
+TEST(LintSelfHost, DeletedEpochBumpIsCaught)
+{
+    TempTree t;
+    const auto fs =
+        lintWithDeletedLine(t, "tlb_.bumpTranslationEpoch();", {"R1"});
+    ASSERT_FALSE(fs.empty());
+    EXPECT_EQ(fs[0].id, "R1");
+    EXPECT_EQ(fs[0].file, "src/os/kernel.cc");
+    EXPECT_GT(fs[0].line, 0);
+}
+
+TEST(LintSelfHost, DeletedObserverHookIsCaught)
+{
+    TempTree t;
+    const auto fs = lintWithDeletedLine(
+        t, "observer_->onPageMapped(pageBase(vaddr), pfn);", {"R2"});
+    ASSERT_FALSE(fs.empty());
+    EXPECT_EQ(fs[0].id, "R2");
+    EXPECT_EQ(fs[0].file, "src/os/kernel.cc");
+}
+
+#endif // MTLBSIM_REPO_ROOT

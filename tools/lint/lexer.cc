@@ -1,0 +1,241 @@
+#include "lexer.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mtlblint
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Record a `mtlb-lint: allow(a,b)` directive found in a comment.
+ * Tolerates arbitrary whitespace and trailing comment text.
+ */
+void
+parseSuppression(const std::string &comment, int line, SourceFile &out)
+{
+    const std::string tag = "mtlb-lint:";
+    auto pos = comment.find(tag);
+    if (pos == std::string::npos)
+        return;
+    pos += tag.size();
+    while (pos < comment.size() && std::isspace(
+               static_cast<unsigned char>(comment[pos]))) {
+        ++pos;
+    }
+    if (comment.compare(pos, 5, "allow") != 0)
+        return;
+    pos = comment.find('(', pos);
+    if (pos == std::string::npos)
+        return;
+    auto close = comment.find(')', pos);
+    if (close == std::string::npos)
+        return;
+    std::string list = comment.substr(pos + 1, close - pos - 1);
+    std::string item;
+    std::istringstream iss(list);
+    while (std::getline(iss, item, ',')) {
+        // Trim whitespace.
+        auto b = item.find_first_not_of(" \t");
+        auto e = item.find_last_not_of(" \t");
+        if (b == std::string::npos)
+            continue;
+        out.suppressions[line].insert(item.substr(b, e - b + 1));
+    }
+}
+
+} // namespace
+
+void
+addSuppressionsFromLine(const std::string &line, int lineNo,
+                        SourceFile &out)
+{
+    parseSuppression(line, lineNo, out);
+}
+
+SourceFile
+tokenize(const std::string &path, const std::string &text)
+{
+    SourceFile out;
+    out.path = path;
+
+    // Split into raw lines for the line-wise rules.
+    {
+        std::string cur;
+        for (char c : text) {
+            if (c == '\n') {
+                out.lines.push_back(cur);
+                cur.clear();
+            } else {
+                cur.push_back(c);
+            }
+        }
+        if (!cur.empty())
+            out.lines.push_back(cur);
+    }
+
+    size_t i = 0;
+    const size_t n = text.size();
+    int line = 1;
+
+    auto peek = [&](size_t off) -> char {
+        return i + off < n ? text[i + off] : '\0';
+    };
+
+    while (i < n) {
+        char c = text[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && peek(1) == '/') {
+            size_t start = i;
+            while (i < n && text[i] != '\n')
+                ++i;
+            parseSuppression(text.substr(start, i - start), line, out);
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && peek(1) == '*') {
+            size_t start = i;
+            int startLine = line;
+            i += 2;
+            while (i < n && !(text[i] == '*' && peek(1) == '/')) {
+                if (text[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i < n)
+                i += 2;
+            parseSuppression(text.substr(start, i - start), startLine, out);
+            continue;
+        }
+        // Raw string literal: R"delim( ... )delim"
+        if (c == 'R' && peek(1) == '"') {
+            size_t j = i + 2;
+            std::string delim;
+            while (j < n && text[j] != '(')
+                delim.push_back(text[j++]);
+            std::string close = ")" + delim + "\"";
+            size_t end = text.find(close, j);
+            int startLine = line;
+            size_t bodyEnd = end == std::string::npos ? n : end;
+            std::string content = text.substr(j + 1, bodyEnd - j - 1);
+            end = end == std::string::npos ? n : end + close.size();
+            for (size_t k = i; k < end; ++k) {
+                if (text[k] == '\n')
+                    ++line;
+            }
+            out.tokens.push_back({TokKind::String, content, startLine});
+            i = end;
+            continue;
+        }
+        // String / char literal (handles escapes). Contents are kept
+        // verbatim (minus surrounding quotes): R4 matches config-key
+        // literals against them.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            int startLine = line;
+            size_t start = ++i;
+            while (i < n && text[i] != quote) {
+                if (text[i] == '\\') {
+                    ++i;
+                } else if (text[i] == '\n') {
+                    ++line;     // unterminated; keep going defensively
+                }
+                ++i;
+            }
+            std::string content = text.substr(start, i - start);
+            if (i < n)
+                ++i;    // past closing quote
+            out.tokens.push_back({
+                quote == '"' ? TokKind::String : TokKind::CharLit,
+                content, startLine});
+            continue;
+        }
+        if (isIdentStart(c)) {
+            size_t start = i;
+            while (i < n && isIdentChar(text[i]))
+                ++i;
+            out.tokens.push_back({TokKind::Identifier,
+                                  text.substr(start, i - start), line});
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = i;
+            while (i < n && (isIdentChar(text[i]) || text[i] == '.' ||
+                             ((text[i] == '+' || text[i] == '-') &&
+                              (text[i - 1] == 'e' || text[i - 1] == 'E')))) {
+                ++i;
+            }
+            out.tokens.push_back({TokKind::Number,
+                                  text.substr(start, i - start), line});
+            continue;
+        }
+        // Punctuator: one character at a time except -> and :: which
+        // the rules want as single tokens.
+        if (c == '-' && peek(1) == '>') {
+            out.tokens.push_back({TokKind::Punct, "->", line});
+            i += 2;
+            continue;
+        }
+        if (c == ':' && peek(1) == ':') {
+            out.tokens.push_back({TokKind::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        out.tokens.push_back({TokKind::Punct, std::string(1, c), line});
+        ++i;
+    }
+
+    return out;
+}
+
+SourceFile
+tokenizeFile(const std::string &path, const std::string &displayPath)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("mtlb-lint: cannot read " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return tokenize(displayPath, ss.str());
+}
+
+bool
+suppressed(const SourceFile &file, int line,
+           const std::string &id, const std::string &name)
+{
+    for (int l : {line, line - 1}) {
+        auto it = file.suppressions.find(l);
+        if (it == file.suppressions.end())
+            continue;
+        if (it->second.count(id) || it->second.count(name))
+            return true;
+    }
+    return false;
+}
+
+} // namespace mtlblint

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal C++ tokenizer for mtlb-lint.
+ *
+ * Deliberately not a real C++ front end: mtlb-lint's rules need only
+ * identifiers, punctuation, and line numbers, with comments, string
+ * literals, and character literals reliably skipped so that a banned
+ * identifier inside a diagnostic message or a comment never fires a
+ * rule. Preprocessor directives are tokenized like ordinary text
+ * ('#' is a punctuator), which is exactly what the include-guard
+ * check wants.
+ *
+ * The lexer also collects `// mtlb-lint: allow(rule[,rule...])`
+ * suppression comments, keyed by line, so rules can honour them.
+ *
+ * Dependency-free by design (standard library only): the linter must
+ * build and run without the simulator or any third-party library.
+ */
+
+#ifndef MTLBSIM_TOOLS_LINT_LEXER_HH
+#define MTLBSIM_TOOLS_LINT_LEXER_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mtlblint
+{
+
+enum class TokKind
+{
+    Identifier,     ///< identifiers and keywords
+    Number,
+    String,         ///< string literal (contents dropped)
+    CharLit,
+    Punct,          ///< any punctuator, one token per character run
+};
+
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    int line = 1;
+};
+
+/** A tokenized source file plus its suppression comments. */
+struct SourceFile
+{
+    std::string path;               ///< as given (repo-relative)
+    std::vector<Token> tokens;
+    /** line -> rule names allowed on that line (and the next). */
+    std::map<int, std::set<std::string>> suppressions;
+    /** Raw text lines, for rules that work line-wise. */
+    std::vector<std::string> lines;
+};
+
+/** Tokenize @p text as C++ source. @p path is recorded verbatim. */
+SourceFile tokenize(const std::string &path, const std::string &text);
+
+/** Read a file and tokenize it. Throws std::runtime_error on IO
+ *  failure. */
+SourceFile tokenizeFile(const std::string &path,
+                        const std::string &displayPath);
+
+/** True if the suppression table allows @p rule (either its "R<n>"
+ *  id or its long name) at @p line — same line or the line above. */
+bool suppressed(const SourceFile &file, int line,
+                const std::string &id, const std::string &name);
+
+/**
+ * Scan one raw text line for a `mtlb-lint: allow(...)` directive and
+ * record it in @p out. Used for non-C++ inputs (.cfg, .md) where the
+ * directive sits in a '#'-style comment instead of a C++ one.
+ */
+void addSuppressionsFromLine(const std::string &line, int lineNo,
+                             SourceFile &out);
+
+} // namespace mtlblint
+
+#endif // MTLBSIM_TOOLS_LINT_LEXER_HH

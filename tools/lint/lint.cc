@@ -1,0 +1,921 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "lexer.hh"
+
+namespace fs = std::filesystem;
+
+namespace mtlblint
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    auto b = s.find_first_not_of(" \t\r");
+    auto e = s.find_last_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    return s.substr(b, e - b + 1);
+}
+
+/** Dotted lower-case config key: `tlb.entries`, `kernel.frame_seed`. */
+bool
+looksLikeKey(const std::string &s)
+{
+    if (s.empty() || !std::islower(static_cast<unsigned char>(s[0])))
+        return false;
+    bool sawDot = false;
+    char prev = '\0';
+    for (char c : s) {
+        if (c == '.') {
+            if (prev == '\0' || prev == '.')
+                return false;
+            sawDot = true;
+        } else if (!(std::islower(static_cast<unsigned char>(c)) ||
+                     std::isdigit(static_cast<unsigned char>(c)) ||
+                     c == '_')) {
+            return false;
+        }
+        prev = c;
+    }
+    return sawDot && prev != '.';
+}
+
+/** Read a text file into lines; also harvest `mtlb-lint: allow`
+ *  directives so .cfg/.md findings can be suppressed in place. */
+SourceFile
+rawFile(const std::string &path, const std::string &displayPath)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("mtlb-lint: cannot read " + path);
+    SourceFile out;
+    out.path = displayPath;
+    std::string line;
+    int no = 0;
+    while (std::getline(in, line)) {
+        out.lines.push_back(line);
+        addSuppressionsFromLine(line, ++no, out);
+    }
+    return out;
+}
+
+bool
+underDir(const std::string &rel, const std::string &dir)
+{
+    if (rel.size() < dir.size() || rel.compare(0, dir.size(), dir) != 0)
+        return false;
+    return rel.size() == dir.size() || rel[dir.size()] == '/' ||
+           dir.back() == '/';
+}
+
+/** Repo-relative paths of all files under @p dirs with one of the
+ *  given extensions, sorted for deterministic output. */
+std::vector<std::string>
+listFiles(const std::string &root, const std::vector<std::string> &dirs,
+          const std::vector<std::string> &exts)
+{
+    std::vector<std::string> out;
+    for (const auto &d : dirs) {
+        fs::path base = fs::path(root) / d;
+        if (!fs::exists(base))
+            continue;
+        for (const auto &ent : fs::recursive_directory_iterator(base)) {
+            if (!ent.is_regular_file())
+                continue;
+            std::string ext = ent.path().extension().string();
+            if (std::find(exts.begin(), exts.end(), ext) == exts.end())
+                continue;
+            out.push_back(
+                fs::relative(ent.path(), fs::path(root)).generic_string());
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+// --------------------------------------------------------------------
+// R1/R2: function extraction over the kernel translation unit.
+// --------------------------------------------------------------------
+
+struct FnEvent
+{
+    enum Kind { Mutator, Bump, Hook, Callee, Return } kind;
+    size_t pos;             ///< token index
+    int line;
+    std::string name;       ///< mutator/hook/callee name
+};
+
+struct FnInfo
+{
+    std::string name;
+    int line = 0;
+    std::vector<FnEvent> events;
+    size_t endPos = 0;      ///< token index of the closing '}'
+};
+
+/** True if the '{' at token index @p j opens a lambda body. */
+bool
+lambdaBrace(const std::vector<Token> &t, size_t j)
+{
+    size_t k = j;
+    // Walk back over specifier / trailing-return-type tokens.
+    while (k > 0) {
+        const Token &p = t[k - 1];
+        if (p.kind == TokKind::Identifier &&
+            (p.text == "mutable" || p.text == "noexcept" ||
+             p.text == "const")) {
+            --k;
+            continue;
+        }
+        if (p.kind == TokKind::Punct &&
+            (p.text == "->" || p.text == "::" || p.text == "&" ||
+             p.text == "*" || p.text == "<" || p.text == ">")) {
+            --k;
+            continue;
+        }
+        if (p.kind == TokKind::Identifier && k >= 2 &&
+            t[k - 2].kind == TokKind::Punct &&
+            (t[k - 2].text == "->" || t[k - 2].text == "::")) {
+            --k;
+            continue;
+        }
+        break;
+    }
+    if (k == 0)
+        return false;
+    const Token &p = t[k - 1];
+    if (p.kind == TokKind::Punct && p.text == "]")
+        return true;
+    if (p.kind == TokKind::Punct && p.text == ")") {
+        int depth = 1;
+        size_t m = k - 1;
+        while (m > 0) {
+            --m;
+            if (t[m].kind != TokKind::Punct)
+                continue;
+            if (t[m].text == ")") {
+                ++depth;
+            } else if (t[m].text == "(") {
+                if (--depth == 0)
+                    break;
+            }
+        }
+        if (depth == 0 && m > 0 && t[m - 1].kind == TokKind::Punct &&
+            t[m - 1].text == "]") {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+isControlKeyword(const std::string &s)
+{
+    return s == "if" || s == "for" || s == "while" || s == "switch" ||
+           s == "catch" || s == "return" || s == "sizeof";
+}
+
+/**
+ * Walk the token stream and extract every function definition with
+ * the rule-relevant events inside its body. Function-name detection:
+ * the first `identifier (` since the last statement boundary at
+ * file/namespace scope names the function whose body brace follows
+ * (this also handles constructor initializer lists, where later
+ * `member_(...)` groups must not steal the name).
+ */
+std::vector<FnInfo>
+extractFunctions(const SourceFile &src, const RulesConfig &cfg)
+{
+    const auto &t = src.tokens;
+    std::vector<FnInfo> fns;
+    // Brace kinds: 0 transparent (namespace/type/init), 1 function
+    // body (outermost), 2 lambda body inside a function.
+    std::vector<int> stack;
+    bool inFunction = false;
+    FnInfo cur;
+    bool haveCandidate = false;
+    std::string candidate;
+    int candidateLine = 0;
+    int lambdaDepth = 0;
+
+    for (size_t i = 0; i < t.size(); ++i) {
+        const Token &tok = t[i];
+        auto nextIs = [&](const char *s) {
+            return i + 1 < t.size() && t[i + 1].kind == TokKind::Punct &&
+                   t[i + 1].text == s;
+        };
+        if (!inFunction) {
+            if (tok.kind == TokKind::Punct) {
+                if (tok.text == ";" || tok.text == "=") {
+                    haveCandidate = false;
+                } else if (tok.text == "}") {
+                    haveCandidate = false;
+                    if (!stack.empty())
+                        stack.pop_back();
+                } else if (tok.text == "{") {
+                    if (haveCandidate) {
+                        inFunction = true;
+                        cur = FnInfo{candidate, candidateLine, {}, 0};
+                        lambdaDepth = 0;
+                        stack.push_back(1);
+                    } else {
+                        stack.push_back(0);
+                    }
+                    haveCandidate = false;
+                }
+            } else if (tok.kind == TokKind::Identifier && !haveCandidate &&
+                       nextIs("(") && !isControlKeyword(tok.text)) {
+                haveCandidate = true;
+                candidate = tok.text;
+                candidateLine = tok.line;
+            }
+            continue;
+        }
+        // Inside a function body.
+        if (tok.kind == TokKind::Punct) {
+            if (tok.text == "{") {
+                bool lam = lambdaBrace(t, i);
+                stack.push_back(lam ? 2 : 0);
+                if (lam)
+                    ++lambdaDepth;
+            } else if (tok.text == "}") {
+                int kind = stack.empty() ? 0 : stack.back();
+                if (!stack.empty())
+                    stack.pop_back();
+                if (kind == 2) {
+                    --lambdaDepth;
+                } else if (kind == 1) {
+                    cur.endPos = i;
+                    fns.push_back(cur);
+                    inFunction = false;
+                }
+            }
+            continue;
+        }
+        if (tok.kind != TokKind::Identifier)
+            continue;
+        bool memberCall =
+            i > 0 && t[i - 1].kind == TokKind::Punct &&
+            (t[i - 1].text == "." || t[i - 1].text == "->");
+        if (tok.text == "return") {
+            if (lambdaDepth == 0)
+                cur.events.push_back({FnEvent::Return, i, tok.line, ""});
+            continue;
+        }
+        if (tok.text == cfg.epochCall && nextIs("(")) {
+            cur.events.push_back({FnEvent::Bump, i, tok.line, tok.text});
+            continue;
+        }
+        if (cfg.hooks.count(tok.text) && memberCall) {
+            cur.events.push_back({FnEvent::Hook, i, tok.line, tok.text});
+            continue;
+        }
+        if (memberCall && nextIs("(")) {
+            for (const auto &m : cfg.mutators) {
+                if (m.method != tok.text)
+                    continue;
+                if (!m.receiver.empty() &&
+                    (i < 2 || t[i - 2].kind != TokKind::Identifier ||
+                     t[i - 2].text != m.receiver)) {
+                    continue;
+                }
+                cur.events.push_back(
+                    {FnEvent::Mutator, i, tok.line, tok.text});
+                break;
+            }
+            for (const auto &p : cfg.pairs) {
+                if (p.first == tok.text) {
+                    cur.events.push_back(
+                        {FnEvent::Callee, i, tok.line, tok.text});
+                    break;
+                }
+            }
+        }
+    }
+    return fns;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// rules.cfg
+// --------------------------------------------------------------------
+
+RulesConfig
+RulesConfig::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("mtlb-lint: cannot read rules file " +
+                                 path);
+    RulesConfig cfg;
+    std::string line;
+    int no = 0;
+    while (std::getline(in, line)) {
+        ++no;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        std::istringstream iss(line);
+        std::string dir, a, b;
+        iss >> dir >> a;
+        iss >> b;    // optional second operand
+        auto need2 = [&]() {
+            if (b.empty()) {
+                throw std::runtime_error(
+                    path + ":" + std::to_string(no) + ": '" + dir +
+                    "' needs two operands");
+            }
+        };
+        if (a.empty()) {
+            throw std::runtime_error(path + ":" + std::to_string(no) +
+                                     ": '" + dir + "' needs an operand");
+        }
+        if (dir == "scan-dir") {
+            cfg.scanDirs.push_back(a);
+        } else if (dir == "kernel-file") {
+            cfg.kernelFile = a;
+        } else if (dir == "epoch-call") {
+            cfg.epochCall = a;
+        } else if (dir == "mutator") {
+            auto dot = a.rfind('.');
+            if (dot == std::string::npos) {
+                cfg.mutators.push_back({"", a});
+            } else {
+                cfg.mutators.push_back(
+                    {a.substr(0, dot), a.substr(dot + 1)});
+            }
+        } else if (dir == "hook") {
+            cfg.hooks.insert(a);
+        } else if (dir == "pair") {
+            need2();
+            cfg.pairs.emplace_back(a, b);
+        } else if (dir == "require-hook") {
+            need2();
+            cfg.requireHooks.emplace_back(a, b);
+        } else if (dir == "stat-adder") {
+            cfg.statAdders.push_back(a);
+        } else if (dir == "config-source") {
+            cfg.configSource = a;
+        } else if (dir == "config-file") {
+            cfg.configFiles.push_back(a);
+        } else if (dir == "config-dir") {
+            cfg.configDirs.push_back(a);
+        } else if (dir == "doc-file") {
+            cfg.docFile = a;
+        } else if (dir == "doc-section") {
+            cfg.docSection = a;
+            if (!b.empty())
+                cfg.docSection += " " + b;
+        } else if (dir == "banned") {
+            cfg.banned.insert(a);
+        } else if (dir == "banned-exempt") {
+            cfg.bannedExempt.push_back(a);
+        } else if (dir == "guard-prefix") {
+            cfg.guardPrefix = a;
+        } else if (dir == "guard-strip") {
+            cfg.guardStrip.push_back(a);
+        } else {
+            throw std::runtime_error(path + ":" + std::to_string(no) +
+                                     ": unknown directive '" + dir + "'");
+        }
+    }
+    return cfg;
+}
+
+std::string
+format(const Finding &f)
+{
+    return f.file + ":" + std::to_string(f.line) + ": [" + f.id + " " +
+           f.name + "] " + f.message;
+}
+
+// --------------------------------------------------------------------
+// Rule runners
+// --------------------------------------------------------------------
+
+namespace
+{
+
+class Linter
+{
+  public:
+    Linter(const std::string &root, const RulesConfig &cfg,
+           const std::set<std::string> &only)
+        : root_(root), cfg_(cfg), only_(only)
+    {}
+
+    std::vector<Finding> run();
+
+  private:
+    bool enabled(const std::string &id) const
+    {
+        return only_.empty() || only_.count(id);
+    }
+
+    void emit(const SourceFile &src, int line, const std::string &id,
+              const std::string &name, const std::string &message)
+    {
+        if (!suppressed(src, line, id, name))
+            findings_.push_back({src.path, line, id, name, message});
+    }
+
+    std::string abs(const std::string &rel) const
+    {
+        return (fs::path(root_) / rel).string();
+    }
+
+    const SourceFile &tokens(const std::string &rel);
+
+    void checkKernel();             // R1 + R2
+    void checkStats();              // R3
+    void checkConfigParity();       // R4
+    void checkHygiene();            // R5
+
+    std::string expectedGuard(const std::string &rel) const;
+
+    const std::string root_;
+    const RulesConfig &cfg_;
+    const std::set<std::string> only_;
+    std::map<std::string, SourceFile> cache_;
+    std::vector<Finding> findings_;
+};
+
+const SourceFile &
+Linter::tokens(const std::string &rel)
+{
+    auto it = cache_.find(rel);
+    if (it == cache_.end())
+        it = cache_.emplace(rel, tokenizeFile(abs(rel), rel)).first;
+    return it->second;
+}
+
+void
+Linter::checkKernel()
+{
+    if (cfg_.kernelFile.empty() ||
+        !fs::exists(abs(cfg_.kernelFile)) ||
+        (!enabled("R1") && !enabled("R2"))) {
+        return;
+    }
+    const SourceFile &src = tokens(cfg_.kernelFile);
+    auto fns = extractFunctions(src, cfg_);
+
+    for (const auto &fn : fns) {
+        std::vector<const FnEvent *> muts, bumps, hooks, callees;
+        std::vector<size_t> exits;
+        for (const auto &e : fn.events) {
+            switch (e.kind) {
+              case FnEvent::Mutator: muts.push_back(&e); break;
+              case FnEvent::Bump: bumps.push_back(&e); break;
+              case FnEvent::Hook: hooks.push_back(&e); break;
+              case FnEvent::Callee: callees.push_back(&e); break;
+              case FnEvent::Return: exits.push_back(e.pos); break;
+            }
+        }
+        exits.push_back(fn.endPos);
+
+        if (enabled("R1") && !muts.empty()) {
+            std::set<int> reported;
+            for (size_t ex : exits) {
+                const FnEvent *last = nullptr;
+                for (const auto *m : muts) {
+                    if (m->pos < ex && (!last || m->pos > last->pos))
+                        last = m;
+                }
+                if (!last)
+                    continue;
+                bool bumped = false;
+                for (const auto *bp : bumps) {
+                    if (bp->pos > last->pos && bp->pos < ex) {
+                        bumped = true;
+                        break;
+                    }
+                }
+                if (!bumped && reported.insert(last->line).second) {
+                    emit(src, last->line, "R1", "epoch-discipline",
+                         "function '" + fn.name +
+                         "' mutates translation state via '" +
+                         last->name + "' but can return without calling " +
+                         cfg_.epochCall + "()");
+                }
+            }
+        }
+
+        if (enabled("R2")) {
+            if (!muts.empty() && hooks.empty()) {
+                emit(src, muts.front()->line, "R2", "observer-discipline",
+                     "function '" + fn.name +
+                     "' mutates translation state via '" +
+                     muts.front()->name +
+                     "' but fires no KernelObserver hook");
+            }
+            for (const auto &p : cfg_.pairs) {
+                const FnEvent *first = nullptr;
+                for (const auto *c : callees) {
+                    if (c->name == p.first) {
+                        first = c;
+                        break;
+                    }
+                }
+                if (!first)
+                    continue;
+                bool paired = false;
+                for (const auto *h : hooks) {
+                    if (h->name == p.second) {
+                        paired = true;
+                        break;
+                    }
+                }
+                if (!paired) {
+                    emit(src, first->line, "R2", "observer-discipline",
+                         "function '" + fn.name + "' calls '" + p.first +
+                         "' without firing the paired hook '" + p.second +
+                         "'");
+                }
+            }
+        }
+    }
+
+    if (enabled("R2")) {
+        for (const auto &rh : cfg_.requireHooks) {
+            for (const auto &fn : fns) {
+                if (fn.name != rh.first)
+                    continue;
+                bool fired = false;
+                for (const auto &e : fn.events) {
+                    if (e.kind == FnEvent::Hook && e.name == rh.second) {
+                        fired = true;
+                        break;
+                    }
+                }
+                if (!fired) {
+                    emit(src, fn.line, "R2", "observer-discipline",
+                         "function '" + fn.name +
+                         "' must fire KernelObserver hook '" + rh.second +
+                         "'");
+                }
+            }
+        }
+    }
+}
+
+void
+Linter::checkStats()
+{
+    if (!enabled("R3") || cfg_.statAdders.empty())
+        return;
+    static const std::set<std::string> kStatKinds = {
+        "Scalar", "Average", "Histogram", "Formula",
+    };
+
+    auto headers = listFiles(root_, cfg_.scanDirs, {".hh"});
+    auto sources = listFiles(root_, cfg_.scanDirs, {".hh", ".cc"});
+
+    // Pass 1: every name registered anywhere via `name ( ... add* ... )`.
+    std::set<std::string> registered;
+    for (const auto &rel : sources) {
+        const auto &t = tokens(rel).tokens;
+        for (size_t i = 0; i + 1 < t.size(); ++i) {
+            if (t[i].kind != TokKind::Identifier ||
+                t[i + 1].kind != TokKind::Punct || t[i + 1].text != "(") {
+                continue;
+            }
+            int depth = 0;
+            for (size_t j = i + 1; j < t.size(); ++j) {
+                if (t[j].kind == TokKind::Punct) {
+                    if (t[j].text == "(") {
+                        ++depth;
+                    } else if (t[j].text == ")") {
+                        if (--depth == 0)
+                            break;
+                    }
+                } else if (t[j].kind == TokKind::Identifier &&
+                           std::find(cfg_.statAdders.begin(),
+                                     cfg_.statAdders.end(), t[j].text) !=
+                               cfg_.statAdders.end()) {
+                    registered.insert(t[i].text);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Pass 2: member declarations `stats::<Kind> [&] name ;` in headers.
+    for (const auto &rel : headers) {
+        const SourceFile &src = tokens(rel);
+        const auto &t = src.tokens;
+        for (size_t i = 0; i + 3 < t.size(); ++i) {
+            if (!(t[i].kind == TokKind::Identifier && t[i].text == "stats" &&
+                  t[i + 1].kind == TokKind::Punct &&
+                  t[i + 1].text == "::" &&
+                  t[i + 2].kind == TokKind::Identifier &&
+                  kStatKinds.count(t[i + 2].text))) {
+                continue;
+            }
+            size_t j = i + 3;
+            while (j < t.size() && t[j].kind == TokKind::Punct &&
+                   (t[j].text == "&" || t[j].text == "*")) {
+                ++j;
+            }
+            if (j + 1 >= t.size() || t[j].kind != TokKind::Identifier ||
+                t[j + 1].kind != TokKind::Punct || t[j + 1].text != ";") {
+                continue;   // function decl, param, etc.
+            }
+            if (!registered.count(t[j].text)) {
+                emit(src, t[j].line, "R3", "stats-registration",
+                     "stat member '" + t[j].text + "' (stats::" +
+                     t[i + 2].text + ") is never registered via " +
+                     "a stat-group add* call");
+            }
+        }
+    }
+}
+
+void
+Linter::checkConfigParity()
+{
+    if (!enabled("R4") || cfg_.configSource.empty() ||
+        !fs::exists(abs(cfg_.configSource))) {
+        return;
+    }
+
+    struct KeyRef
+    {
+        std::string file;
+        int line;
+    };
+
+    // Keys the parser accepts, from string literals in configSource.
+    const SourceFile &parserSrc = tokens(cfg_.configSource);
+    std::map<std::string, KeyRef> parserKeys;
+    for (const auto &tok : parserSrc.tokens) {
+        if (tok.kind == TokKind::String && looksLikeKey(tok.text)) {
+            parserKeys.emplace(tok.text,
+                               KeyRef{parserSrc.path, tok.line});
+        }
+    }
+
+    // Keys set in .cfg files.
+    std::vector<std::string> cfgFiles = cfg_.configFiles;
+    for (const auto &d : cfg_.configDirs) {
+        for (const auto &rel : listFiles(root_, {d}, {".cfg"}))
+            cfgFiles.push_back(rel);
+    }
+    std::sort(cfgFiles.begin(), cfgFiles.end());
+    cfgFiles.erase(std::unique(cfgFiles.begin(), cfgFiles.end()),
+                   cfgFiles.end());
+
+    std::map<std::string, KeyRef> cfgKeys;
+    std::vector<std::pair<std::string, SourceFile>> cfgSources;
+    for (const auto &rel : cfgFiles) {
+        if (!fs::exists(abs(rel)))
+            continue;
+        cfgSources.emplace_back(rel, rawFile(abs(rel), rel));
+        const SourceFile &src = cfgSources.back().second;
+        for (size_t li = 0; li < src.lines.size(); ++li) {
+            std::string line = src.lines[li];
+            auto hash = line.find('#');
+            if (hash != std::string::npos)
+                line = line.substr(0, hash);
+            auto eq = line.find('=');
+            if (eq == std::string::npos)
+                continue;
+            std::string key = trim(line.substr(0, eq));
+            if (looksLikeKey(key)) {
+                cfgKeys.emplace(key,
+                                KeyRef{rel, static_cast<int>(li + 1)});
+            }
+        }
+    }
+
+    // Keys documented in the manual's key-reference section: backtick
+    // spans that look like keys, between the doc-section heading and
+    // the next same-level heading.
+    std::map<std::string, KeyRef> docKeys;
+    SourceFile docSrc;
+    if (!cfg_.docFile.empty() && fs::exists(abs(cfg_.docFile))) {
+        docSrc = rawFile(abs(cfg_.docFile), cfg_.docFile);
+        bool inSection = cfg_.docSection.empty();
+        // A heading "matches" the configured section when its text
+        // (after the markdown hashes) starts with docSection, e.g.
+        // docSection "5." matches "## 5. Configuration keys".
+        auto headingText = [](const std::string &line) -> std::string {
+            size_t p = 0;
+            while (p < line.size() && line[p] == '#')
+                ++p;
+            if (p == 0)
+                return "";      // not a heading
+            while (p < line.size() && line[p] == ' ')
+                ++p;
+            return line.substr(p);
+        };
+        for (size_t li = 0; li < docSrc.lines.size(); ++li) {
+            const std::string &line = docSrc.lines[li];
+            if (!cfg_.docSection.empty() && !line.empty() &&
+                line[0] == '#') {
+                inSection =
+                    headingText(line).rfind(cfg_.docSection, 0) == 0;
+            }
+            if (!inSection)
+                continue;
+            size_t pos = 0;
+            while ((pos = line.find('`', pos)) != std::string::npos) {
+                auto close = line.find('`', pos + 1);
+                if (close == std::string::npos)
+                    break;
+                std::string span = line.substr(pos + 1, close - pos - 1);
+                if (looksLikeKey(span)) {
+                    docKeys.emplace(span,
+                                    KeyRef{cfg_.docFile,
+                                           static_cast<int>(li + 1)});
+                }
+                pos = close + 1;
+            }
+        }
+    }
+
+    // Parser keys must be set somewhere or documented.
+    for (const auto &[key, ref] : parserKeys) {
+        if (!cfgKeys.count(key) && !docKeys.count(key)) {
+            emit(parserSrc, ref.line, "R4", "config-key-parity",
+                 "config key '" + key +
+                 "' is accepted by the parser but neither set in any "
+                 ".cfg nor documented in the manual's key reference");
+        }
+    }
+    // .cfg keys must be accepted by the parser (dead-key detection).
+    for (const auto &[key, ref] : cfgKeys) {
+        if (!parserKeys.count(key)) {
+            for (const auto &[rel, src] : cfgSources) {
+                if (rel == ref.file) {
+                    emit(src, ref.line, "R4", "config-key-parity",
+                         "config key '" + key +
+                         "' is set here but not accepted by the parser "
+                         "(dead key)");
+                    break;
+                }
+            }
+        }
+    }
+    // Documented keys must be accepted by the parser.
+    for (const auto &[key, ref] : docKeys) {
+        if (!parserKeys.count(key)) {
+            emit(docSrc, ref.line, "R4", "config-key-parity",
+                 "manual documents config key '" + key +
+                 "' which the parser does not accept");
+        }
+    }
+}
+
+std::string
+Linter::expectedGuard(const std::string &rel) const
+{
+    std::string p = rel;
+    for (const auto &strip : cfg_.guardStrip) {
+        if (p.rfind(strip, 0) == 0) {
+            p = p.substr(strip.size());
+            break;
+        }
+    }
+    std::string g = cfg_.guardPrefix;
+    for (char c : p) {
+        g += std::isalnum(static_cast<unsigned char>(c))
+                 ? static_cast<char>(
+                       std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+    }
+    return g;
+}
+
+void
+Linter::checkHygiene()
+{
+    if (!enabled("R5"))
+        return;
+    auto files = listFiles(root_, cfg_.scanDirs, {".hh", ".cc"});
+    for (const auto &rel : files) {
+        bool exempt = false;
+        for (const auto &d : cfg_.bannedExempt) {
+            if (underDir(rel, d)) {
+                exempt = true;
+                break;
+            }
+        }
+        const SourceFile &src = tokens(rel);
+
+        if (!exempt) {
+            for (const auto &tok : src.tokens) {
+                if (tok.kind != TokKind::Identifier ||
+                    !cfg_.banned.count(tok.text)) {
+                    continue;
+                }
+                std::string why =
+                    tok.text == "new"
+                        ? "naked 'new' (use std::make_unique or a "
+                          "container)"
+                        : "banned nondeterminism source '" + tok.text +
+                              "'";
+                emit(src, tok.line, "R5", "hygiene", why);
+            }
+        }
+
+        // Include-guard conformance for headers.
+        if (rel.size() > 3 && rel.compare(rel.size() - 3, 3, ".hh") == 0) {
+            std::string expect = expectedGuard(rel);
+            int ifndefLine = 0;
+            std::string ifndefMacro, defineMacro;
+            bool inBlockComment = false;
+            for (size_t li = 0;
+                 li < src.lines.size() && defineMacro.empty(); ++li) {
+                std::string line = trim(src.lines[li]);
+                if (inBlockComment) {
+                    if (line.find("*/") != std::string::npos)
+                        inBlockComment = false;
+                    continue;
+                }
+                if (line.empty() || line.rfind("//", 0) == 0)
+                    continue;
+                if (line.rfind("/*", 0) == 0) {
+                    if (line.find("*/") == std::string::npos)
+                        inBlockComment = true;
+                    continue;
+                }
+                std::istringstream iss(line);
+                std::string word;
+                iss >> word;
+                if (ifndefMacro.empty()) {
+                    if (word == "#ifndef") {
+                        iss >> ifndefMacro;
+                        ifndefLine = static_cast<int>(li + 1);
+                        continue;
+                    }
+                    if (word == "#pragma")
+                        continue;   // handled below as non-conforming
+                    break;          // first real content isn't a guard
+                }
+                if (word == "#define") {
+                    iss >> defineMacro;
+                } else {
+                    break;
+                }
+            }
+            if (ifndefMacro.empty()) {
+                emit(src, 1, "R5", "hygiene",
+                     "header has no include guard (expected #ifndef " +
+                     expect + ")");
+            } else if (ifndefMacro != expect) {
+                emit(src, ifndefLine, "R5", "hygiene",
+                     "include guard '" + ifndefMacro +
+                     "' does not match the path-derived macro '" + expect +
+                     "'");
+            } else if (defineMacro != expect) {
+                emit(src, ifndefLine, "R5", "hygiene",
+                     "include guard #ifndef " + expect +
+                     " is not followed by a matching #define");
+            }
+        }
+    }
+}
+
+std::vector<Finding>
+Linter::run()
+{
+    checkKernel();
+    checkStats();
+    checkConfigParity();
+    checkHygiene();
+    std::sort(findings_.begin(), findings_.end());
+    findings_.erase(std::unique(findings_.begin(), findings_.end(),
+                                [](const Finding &a, const Finding &b) {
+                                    return !(a < b) && !(b < a);
+                                }),
+                    findings_.end());
+    return std::move(findings_);
+}
+
+} // namespace
+
+std::vector<Finding>
+runLint(const std::string &root, const RulesConfig &cfg,
+        const std::set<std::string> &only)
+{
+    return Linter(root, cfg, only).run();
+}
+
+} // namespace mtlblint

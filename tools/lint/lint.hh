@@ -1,0 +1,123 @@
+/**
+ * @file
+ * mtlb-lint rule engine.
+ *
+ * Five repo-specific semantic rules over the simulator sources:
+ *
+ *  R1 epoch-discipline      every kernel function that mutates
+ *                           translation state below the TLB must call
+ *                           bumpTranslationEpoch() on every path
+ *                           before returning.
+ *  R2 observer-discipline   the same mutators must be paired with the
+ *                           matching KernelObserver hook.
+ *  R3 stats-registration    every stats::* member declared in a
+ *                           header must be registered via a stat-group
+ *                           add* call in its owner.
+ *  R4 config-key-parity     config keys accepted by the parser, set
+ *                           in .cfg files, and documented in the
+ *                           manual's key-reference section must agree.
+ *  R5 hygiene               banned constructs (naked new,
+ *                           nondeterminism sources) and include-guard
+ *                           conformance.
+ *
+ * The rule inputs (mutator list, hook pairs, banned identifiers, file
+ * locations) live in tools/lint/rules.cfg so the contract is an
+ * explicit, reviewable artifact rather than hard-coded heuristics.
+ *
+ * Findings honour `// mtlb-lint: allow(<rule>)` suppression comments
+ * on the same line or the line above; <rule> is either the short id
+ * ("R1") or the long name ("epoch-discipline").
+ */
+
+#ifndef MTLBSIM_TOOLS_LINT_LINT_HH
+#define MTLBSIM_TOOLS_LINT_LINT_HH
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mtlblint
+{
+
+/** Parsed tools/lint/rules.cfg. All paths are repo-root relative. */
+struct RulesConfig
+{
+    std::vector<std::string> scanDirs;
+
+    // R1/R2
+    std::string kernelFile;
+    std::string epochCall = "bumpTranslationEpoch";
+    /** receiver ("" = any) and method name of a translation-state
+     *  mutator call. */
+    struct Mutator
+    {
+        std::string receiver;
+        std::string method;
+    };
+    std::vector<Mutator> mutators;
+    std::set<std::string> hooks;
+    /** callee -> required hook within the same function. */
+    std::vector<std::pair<std::string, std::string>> pairs;
+    /** function name -> hook it must fire somewhere in its body. */
+    std::vector<std::pair<std::string, std::string>> requireHooks;
+
+    // R3
+    std::vector<std::string> statAdders;
+
+    // R4
+    std::string configSource;
+    std::vector<std::string> configFiles;
+    std::vector<std::string> configDirs;
+    std::string docFile;
+    std::string docSection;
+
+    // R5
+    std::set<std::string> banned;
+    std::vector<std::string> bannedExempt;
+    std::string guardPrefix = "MTLBSIM_";
+    std::vector<std::string> guardStrip;
+
+    /** Parse a rules.cfg. Throws std::runtime_error on IO/syntax
+     *  errors. */
+    static RulesConfig load(const std::string &path);
+};
+
+struct Finding
+{
+    std::string file;   ///< repo-relative path
+    int line = 0;
+    std::string id;     ///< "R1".."R5"
+    std::string name;   ///< long rule name
+    std::string message;
+
+    bool operator<(const Finding &o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (line != o.line)
+            return line < o.line;
+        if (id != o.id)
+            return id < o.id;
+        return message < o.message;
+    }
+};
+
+/** Format a finding as `file:line: [id name] message`. */
+std::string format(const Finding &f);
+
+/**
+ * Run all (or a subset of) rules over the tree rooted at @p root.
+ *
+ * @param root  repo root; all RulesConfig paths resolve against it.
+ * @param cfg   parsed rules.cfg.
+ * @param only  if non-empty, run only rules whose id is in the set.
+ * @return sorted findings (suppressions already applied).
+ */
+std::vector<Finding> runLint(const std::string &root,
+                             const RulesConfig &cfg,
+                             const std::set<std::string> &only = {});
+
+} // namespace mtlblint
+
+#endif // MTLBSIM_TOOLS_LINT_LINT_HH
