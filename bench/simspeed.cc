@@ -9,17 +9,22 @@
  * fatals if they diverge, making every speed run double as a
  * behaviour-identity check.
  *
- * Emits BENCH_simspeed.json with both modes' before/after numbers so
- * CI can archive the trend.
+ * Emits BENCH_simspeed.json as an append-only trajectory: each run
+ * APPENDS one entry to the "trajectory" array of an existing report
+ * (a legacy single-run report is converted into the first entry), so
+ * the committed file accumulates one data point per PR and the trend
+ * is diffable in review.
  *
  * Usage: simspeed [--quick] [--scale S] [--reps N] [--l0 N]
- *                 [--out FILE]
+ *                 [--label TEXT] [--out FILE]
  *   --quick    tiny datasets (scale 0.02) for CI smoke runs
  *   --scale S  workload scale factor (default 0.1)
  *   --reps N   repetitions per mode; the fastest rep is reported
  *              (default 1)
  *   --l0 N     fast-path entries for the fastpath mode (default 512)
- *   --out FILE write the JSON report here (default
+ *   --label T  free-form tag recorded in the trajectory entry
+ *              (e.g. a PR number or commit subject)
+ *   --out FILE read/append the JSON report here (default
  *              BENCH_simspeed.json in the working directory)
  */
 
@@ -130,6 +135,37 @@ modeToJson(const ModeResult &r, unsigned l0_entries)
     return v;
 }
 
+/**
+ * Load the trajectory from an existing report at @p path. Returns an
+ * empty array when the file does not exist. A legacy single-run
+ * report (top-level "baseline" key, no "trajectory") becomes the
+ * first entry so no measurement history is ever dropped.
+ */
+json::Value
+loadTrajectory(const std::string &path)
+{
+    json::Value traj = json::Value::array();
+    std::ifstream is(path);
+    if (!is)
+        return traj;
+    const json::Value prev = json::Value::parse(is);
+    if (!prev.isObject())
+        return traj;
+    if (const json::Value *t = prev.find("trajectory");
+        t && t->isArray()) {
+        for (const auto &e : t->items())
+            traj.push(e);
+    } else if (prev.find("baseline")) {
+        json::Value legacy = json::Value::object();
+        for (const auto &[key, value] : prev.members()) {
+            if (key != "bench")
+                legacy.set(key, value);
+        }
+        traj.push(legacy);
+    }
+    return traj;
+}
+
 } // namespace
 
 int
@@ -138,6 +174,7 @@ main(int argc, char **argv)
     double scale = 0.1;
     unsigned reps = 1;
     unsigned l0_entries = 512;
+    std::string label;
     std::string out = "BENCH_simspeed.json";
 
     for (int i = 1; i < argc; ++i) {
@@ -154,6 +191,8 @@ main(int argc, char **argv)
             reps = static_cast<unsigned>(std::atoi(next()));
         else if (arg == "--l0")
             l0_entries = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--label")
+            label = next();
         else if (arg == "--out")
             out = next();
         else
@@ -200,19 +239,28 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(base.accesses),
                 static_cast<unsigned long long>(base.simCycles));
 
+    json::Value entry = json::Value::object();
+    if (!label.empty())
+        entry.set("label", label);
+    entry.set("matrix", matrix.name);
+    entry.set("scale", scale);
+    entry.set("reps", reps);
+    entry.set("baseline", modeToJson(base, 0));
+    entry.set("fastpath", modeToJson(fast, l0_entries));
+    entry.set("speedup", speedup);
+
+    json::Value traj = loadTrajectory(out);
+    traj.push(std::move(entry));
+
     json::Value doc = json::Value::object();
     doc.set("bench", "simspeed");
-    doc.set("matrix", matrix.name);
-    doc.set("scale", scale);
-    doc.set("reps", reps);
-    doc.set("baseline", modeToJson(base, 0));
-    doc.set("fastpath", modeToJson(fast, l0_entries));
-    doc.set("speedup", speedup);
+    doc.set("trajectory", std::move(traj));
 
     std::ofstream os(out);
     fatalIf(!os, "cannot write ", out);
     doc.dump(os);
     os << "\n";
-    std::printf("wrote %s\n", out.c_str());
+    std::printf("appended entry %zu to %s\n",
+                doc.find("trajectory")->items().size(), out.c_str());
     return 0;
 }

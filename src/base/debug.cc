@@ -3,95 +3,82 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
-#include <mutex>
 
 namespace mtlbsim::debug
 {
 
-namespace
+Registry &
+Registry::process()
 {
-
-/** Global flag registry (function-local static avoids order-of-
- *  initialisation issues with flags defined at namespace scope).
- *
- *  Components lazily register flags as function-local statics, and
- *  the sweep runner constructs Systems from many threads at once:
- *  each individual flag's construction is serialized by its static
- *  guard, but two *different* flags can register concurrently, so
- *  every access to the shared map takes registryMutex(). */
-std::map<std::string, Flag *> &
-registry()
-{
-    static std::map<std::string, Flag *> flags;
-    return flags;
-}
-
-std::mutex &
-registryMutex()
-{
-    static std::mutex mutex;
-    return mutex;
-}
-
-} // namespace
-
-Flag::Flag(const std::string &name) : name_(name)
-{
-    bool inserted = false;
-    {
-        std::lock_guard<std::mutex> lock(registryMutex());
-        inserted = registry().emplace(name, this).second;
-    }
-    fatalIf(!inserted, "duplicate debug flag '", name, "'");
-}
-
-Flag::~Flag()
-{
-    std::lock_guard<std::mutex> lock(registryMutex());
-    registry().erase(name_);
+    // The one process-wide registry. A function-local static (rather
+    // than a namespace-scope object) avoids order-of-initialisation
+    // issues with flags constructed during static init; it is the
+    // deliberate, inventoried exception to R6 — debug tracing is
+    // process-wide observability, never simulated behaviour, and a
+    // per-System registry would leave CLI `--debug` unable to reach
+    // Systems constructed later by the sweep's worker threads.
+    static Registry registry;   // mtlb-lint: allow(R6)
+    return registry;
 }
 
 void
-enableFlag(const std::string &name)
+Registry::add(Flag *flag)
 {
-    Flag *flag = nullptr;
-    {
-        std::lock_guard<std::mutex> lock(registryMutex());
-        auto it = registry().find(name);
-        if (it != registry().end())
-            flag = it->second;
-    }
-    fatalIf(flag == nullptr, "no debug flag named '", name, "'");
-    flag->enable();
+    std::lock_guard<std::mutex> lock(mutex_);
+    flags_.emplace(flag->name(), flag);
+    if (armed_.count(flag->name()))
+        flag->enable();
 }
 
 void
-disableFlag(const std::string &name)
+Registry::remove(Flag *flag)
 {
-    Flag *flag = nullptr;
-    {
-        std::lock_guard<std::mutex> lock(registryMutex());
-        auto it = registry().find(name);
-        if (it != registry().end())
-            flag = it->second;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [lo, hi] = flags_.equal_range(flag->name());
+    for (auto it = lo; it != hi; ++it) {
+        if (it->second == flag) {
+            flags_.erase(it);
+            return;
+        }
     }
-    fatalIf(flag == nullptr, "no debug flag named '", name, "'");
-    flag->disable();
+}
+
+void
+Registry::enable(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [lo, hi] = flags_.equal_range(name);
+    fatalIf(lo == hi, "no debug flag named '", name, "'");
+    for (auto it = lo; it != hi; ++it)
+        it->second->enable();
+    armed_.insert(name);
+}
+
+void
+Registry::disable(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [lo, hi] = flags_.equal_range(name);
+    fatalIf(lo == hi, "no debug flag named '", name, "'");
+    for (auto it = lo; it != hi; ++it)
+        it->second->disable();
+    armed_.erase(name);
 }
 
 std::vector<std::string>
-allFlags()
+Registry::names() const
 {
-    std::lock_guard<std::mutex> lock(registryMutex());
-    std::vector<std::string> names;
-    for (const auto &[name, flag] : registry())
-        names.push_back(name);
-    return names;
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    for (const auto &[name, flag] : flags_) {
+        if (out.empty() || out.back() != name)
+            out.push_back(name);    // multimap iterates name-sorted
+    }
+    return out;
 }
 
 void
-enableFromList(const std::string &list)
+Registry::enableList(const std::string &list)
 {
     std::size_t begin = 0;
     while (begin <= list.size()) {
@@ -101,15 +88,63 @@ enableFromList(const std::string &list)
         const std::string token = list.substr(begin, end - begin);
         if (!token.empty()) {
             if (token == "All") {
-                std::lock_guard<std::mutex> lock(registryMutex());
-                for (auto &[name, flag] : registry())
+                std::lock_guard<std::mutex> lock(mutex_);
+                for (auto &[name, flag] : flags_) {
                     flag->enable();
+                    armed_.insert(name);
+                }
             } else {
-                enableFlag(token);
+                // Unlike enable(), a list token with no carrier yet
+                // is NOT fatal: MTLBSIM_DEBUG is parsed before any
+                // System (and its component flags) exists, so the
+                // name is armed and late registrations start
+                // enabled.
+                std::lock_guard<std::mutex> lock(mutex_);
+                auto [lo, hi] = flags_.equal_range(token);
+                for (auto it = lo; it != hi; ++it)
+                    it->second->enable();
+                armed_.insert(token);
             }
         }
         begin = end + 1;
     }
+}
+
+Flag::Flag(const std::string &name) : Flag(name, Registry::process()) {}
+
+Flag::Flag(const std::string &name, Registry &registry)
+    : registry_(registry), name_(name)
+{
+    registry_.add(this);
+}
+
+Flag::~Flag()
+{
+    registry_.remove(this);
+}
+
+void
+enableFlag(const std::string &name)
+{
+    Registry::process().enable(name);
+}
+
+void
+disableFlag(const std::string &name)
+{
+    Registry::process().disable(name);
+}
+
+std::vector<std::string>
+allFlags()
+{
+    return Registry::process().names();
+}
+
+void
+enableFromList(const std::string &list)
+{
+    Registry::process().enableList(list);
 }
 
 void

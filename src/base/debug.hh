@@ -12,12 +12,21 @@
  *     debugPrintf(traceMtlb, "fill spi=", spi, " pfn=", pfn);
  *
  * Disabled flags cost one boolean test.
+ *
+ * Flags register with an explicit debug::Registry context object —
+ * by default the single process-wide one. Several flags may share a
+ * name: each System owns its own "Kernel"/"MTLB" trace flag, and
+ * enabling a name toggles every System's flag at once (and arms the
+ * name, so Systems constructed afterwards start with it enabled).
  */
 
 #ifndef MTLBSIM_BASE_DEBUG_HH
 #define MTLBSIM_BASE_DEBUG_HH
 
 #include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -26,14 +35,18 @@
 namespace mtlbsim::debug
 {
 
+class Registry;
+
 /**
  * A named, registry-tracked debug flag.
  */
 class Flag
 {
   public:
-    /** Register a flag; names must be unique. */
+    /** Register a flag with the process-wide registry. */
     explicit Flag(const std::string &name);
+    /** Register a flag with an explicit registry (tests). */
+    Flag(const std::string &name, Registry &registry);
     ~Flag();
 
     Flag(const Flag &) = delete;
@@ -51,25 +64,81 @@ class Flag
     void disable() { enabled_.store(false, std::memory_order_relaxed); }
 
   private:
+    Registry &registry_;
     std::string name_;
     /** Atomic so sweep worker threads may test a flag that the
      *  driver thread toggles. */
     std::atomic<bool> enabled_{false};
 };
 
-/** Enable a flag by name; fatal when no such flag exists. */
+/**
+ * A flag registry: the explicit context object flags register with.
+ *
+ * The registry is thread-safe (the sweep runner constructs Systems —
+ * and therefore their member flags — from many worker threads at
+ * once) and allows duplicate names: enabling a name enables every
+ * flag currently carrying it and *arms* the name so flags registered
+ * later start enabled. Disabling disarms and disables all carriers.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** Enable every flag named @p name (fatal when none exists) and
+     *  arm the name for flags registered later. */
+    void enable(const std::string &name);
+
+    /** Disable and disarm @p name; fatal when no such flag exists. */
+    void disable(const std::string &name);
+
+    /** Sorted unique names of all registered flags. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Enable flags from a comma-separated list, e.g. "MTLB,Kernel".
+     * The token "All" enables (and arms) every registered name.
+     * Tokens with no carrier yet are armed, not fatal: the list is
+     * parsed from MTLBSIM_DEBUG before any System (and its
+     * component flags) has been constructed.
+     */
+    void enableList(const std::string &list);
+
+    /** The process-wide registry (the default Flag constructor's
+     *  target, and what the by-name helpers below operate on). */
+    static Registry &process();
+
+  private:
+    friend class Flag;
+
+    void add(Flag *flag);
+    void remove(Flag *flag);
+
+    mutable std::mutex mutex_;
+    /** name -> flag; duplicates are one flag per owning System. */
+    std::multimap<std::string, Flag *> flags_;
+    /** Names enabled by request: late-registered flags with an armed
+     *  name start enabled. */
+    std::set<std::string> armed_;
+};
+
+/** Enable a flag by name in the process registry; fatal when no such
+ *  flag exists. */
 void enableFlag(const std::string &name);
 
-/** Disable a flag by name; fatal when no such flag exists. */
+/** Disable a flag by name in the process registry; fatal when no
+ *  such flag exists. */
 void disableFlag(const std::string &name);
 
-/** Names of all registered flags. */
+/** Names of all flags in the process registry. */
 std::vector<std::string> allFlags();
 
 /**
- * Enable flags from a comma-separated list, e.g. "MTLB,Kernel".
- * The token "All" enables everything. Used with the MTLBSIM_DEBUG
- * environment variable by initFromEnvironment().
+ * Enable process-registry flags from a comma-separated list, e.g.
+ * "MTLB,Kernel". The token "All" enables everything. Used with the
+ * MTLBSIM_DEBUG environment variable by initFromEnvironment().
  */
 void enableFromList(const std::string &list);
 

@@ -8,8 +8,11 @@ namespace mtlbsim
 
 namespace
 {
-/** Atomic: sweep worker threads log while the driver toggles it. */
-std::atomic<bool> informEnabled{true};
+/** Atomic: sweep worker threads log while the driver toggles it.
+ *  Inventoried R6 exception: a process-wide stderr verbosity latch
+ *  with no simulated-behaviour reach; threading it through every
+ *  panic/fatal call site would buy nothing. */
+std::atomic<bool> informEnabled{true};  // mtlb-lint: allow(R6)
 }
 
 void

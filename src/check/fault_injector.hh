@@ -216,7 +216,9 @@ class FaultInjector
     }
 
   private:
-    System &sys_;
+    // Test-only harness: borrows the System for the duration of one
+    // injection campaign and never outlives the test that owns both.
+    System &sys_;   // mtlb-lint: allow(R7)
 };
 
 } // namespace mtlbsim

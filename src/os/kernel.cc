@@ -1,22 +1,10 @@
 #include "os/kernel.hh"
 
-#include "base/debug.hh"
-
 #include "base/intmath.hh"
 #include "mmc/mmc.hh"
 
 namespace mtlbsim
 {
-
-namespace
-{
-debug::Flag &
-traceFlag()
-{
-    static debug::Flag flag("Kernel");
-    return flag;
-}
-}
 
 Kernel::Kernel(const KernelConfig &config, const PhysMap &physmap,
                Tlb &tlb, MicroItlb &uitlb, Cache &cache,
@@ -380,7 +368,7 @@ Kernel::notePromotionCandidate(Addr vaddr, Cycles handler_cycles,
         return 0;
 
     promotionCredit_.erase(chunk);
-    debugPrintf(traceFlag(), "promoting chunk 0x", std::hex, chunk);
+    debugPrintf(traceFlag_, "promoting chunk 0x", std::hex, chunk);
     const Cycles cost = remap(chunk, chunk_bytes, now, true);
     remapCalls_ += -1;  // kernel-internal, not a user remap()
     return cost;
@@ -555,7 +543,7 @@ Kernel::remap(Addr vbase, Addr bytes, Cycles now, bool internal)
         tlb_.purgeRange(cursor, sp_size);
         tlb_.bumpTranslationEpoch();
         uitlb_.invalidate();
-        debugPrintf(traceFlag(), "remap: superpage v=0x", std::hex,
+        debugPrintf(traceFlag_, "remap: superpage v=0x", std::hex,
                     cursor, " -> shadow 0x", *shadow_base, std::dec,
                     " class ", c);
         space_->addSuperpage({cursor, *shadow_base, c});

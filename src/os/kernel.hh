@@ -31,6 +31,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "base/debug.hh"
 #include "cache/cache.hh"
 #include "mmc/memsys.hh"
 #include "os/address_space.hh"
@@ -407,6 +408,9 @@ class Kernel
 
     KernelConfig config_;
     const PhysMap &physMap_;
+    /** Per-instance trace flag: every System's kernel registers its
+     *  own "Kernel" flag (enable-by-name toggles them all). */
+    debug::Flag traceFlag_{"Kernel"};
     KernelObserver *observer_ = nullptr;
     Tlb &tlb_;
     MicroItlb &uitlb_;

@@ -59,10 +59,15 @@ using Setter =
     std::function<void(SystemConfig &, const std::string &key,
                        const std::string &value)>;
 
-const std::map<std::string, Setter> &
-setters()
+/** Build the setter table. Constructed on demand instead of cached
+ *  in a function-local static: the table is only consulted while
+ *  parsing configuration (never on the simulated hot path), and
+ *  keeping it off the R6 global-state inventory is worth the
+ *  rebuild. */
+std::map<std::string, Setter>
+makeSetters()
 {
-    static const std::map<std::string, Setter> table = {
+    return {
         {"tlb.entries",
          [](SystemConfig &c, const auto &k, const auto &v) {
              c.tlbEntries =
@@ -191,7 +196,6 @@ setters()
              c.check.panicOnViolation = parseBool(k, v);
          }},
     };
-    return table;
 }
 
 } // namespace
@@ -199,7 +203,7 @@ setters()
 void
 ConfigParser::set(const std::string &key, const std::string &value)
 {
-    const auto &table = setters();
+    const auto table = makeSetters();
     auto it = table.find(key);
     fatalIf(it == table.end(), "unknown config key '", key,
             "' (see ConfigParser::knownKeys())");
@@ -254,7 +258,7 @@ std::vector<std::string>
 ConfigParser::knownKeys()
 {
     std::vector<std::string> keys;
-    for (const auto &[key, setter] : setters())
+    for (const auto &[key, setter] : makeSetters())
         keys.push_back(key);
     return keys;
 }

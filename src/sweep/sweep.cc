@@ -82,9 +82,12 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
                 return;
             results[i] = runOne(jobs[i], options_.captureStats);
             const std::size_t finished = done.fetch_add(1) + 1;
-            if (progress) {
+            {
+                // The callback is shared across workers: check and
+                // invoke it under the same lock (R8 lock-discipline).
                 std::lock_guard<std::mutex> lock(progressMutex);
-                progress(results[i], finished, jobs.size());
+                if (progress)
+                    progress(results[i], finished, jobs.size());
             }
         }
     };

@@ -151,7 +151,9 @@ class TraceReplayer
     }
 
   private:
-    System &sys_;
+    // Replay harness: drives a caller-owned System for one trace and
+    // holds no state across Systems.
+    System &sys_;   // mtlb-lint: allow(R7)
 };
 
 } // namespace mtlbsim

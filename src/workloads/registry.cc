@@ -97,13 +97,10 @@ makeWorkload(const std::string &name, double scale, std::uint64_t seed)
           "or oltp");
 }
 
-const std::vector<std::string> &
+std::vector<std::string>
 allWorkloadNames()
 {
-    static const std::vector<std::string> names = {
-        "compress95", "vortex", "radix", "em3d", "cc1",
-    };
-    return names;
+    return {"compress95", "vortex", "radix", "em3d", "cc1"};
 }
 
 } // namespace mtlbsim

@@ -77,7 +77,7 @@ std::unique_ptr<Workload> makeWorkload(const std::string &name,
                                        std::uint64_t seed = 0);
 
 /** Names of all five §3.1 benchmarks, in the paper's order. */
-const std::vector<std::string> &allWorkloadNames();
+std::vector<std::string> allWorkloadNames();
 
 } // namespace mtlbsim
 

@@ -33,10 +33,52 @@ TEST(DebugFlags, UnknownNameIsFatal)
     EXPECT_THROW(debug::disableFlag("NoSuchFlag"), FatalError);
 }
 
-TEST(DebugFlags, DuplicateNameIsFatal)
+TEST(DebugFlags, DuplicateNamesShareEnableState)
 {
-    debug::Flag flag("TestC");
-    EXPECT_THROW(debug::Flag dup("TestC"), FatalError);
+    // Each System owns its own "Kernel"/"MTLB" flag, so duplicate
+    // names are expected: enabling the name toggles every carrier.
+    debug::Flag one("TestC");
+    debug::Flag two("TestC");
+    debug::enableFlag("TestC");
+    EXPECT_TRUE(one.enabled());
+    EXPECT_TRUE(two.enabled());
+    debug::disableFlag("TestC");
+    EXPECT_FALSE(one.enabled());
+    EXPECT_FALSE(two.enabled());
+}
+
+TEST(DebugFlags, ArmedNameEnablesLateRegistrations)
+{
+    // The sweep constructs Systems after --debug is parsed: a flag
+    // registered after its name was enabled must start enabled.
+    debug::Flag early("TestArm");
+    debug::enableFlag("TestArm");
+    debug::Flag late("TestArm");
+    EXPECT_TRUE(late.enabled());
+    debug::disableFlag("TestArm");
+    debug::Flag afterDisable("TestArm");
+    EXPECT_FALSE(afterDisable.enabled());
+}
+
+TEST(DebugFlags, ListArmsNamesWithNoCarrierYet)
+{
+    // MTLBSIM_DEBUG is parsed at driver startup, before any System
+    // exists: a list token with no registered carrier must arm the
+    // name (not fatal) so component flags built later start enabled.
+    debug::enableFromList("TestPreArm");
+    debug::Flag flag("TestPreArm");
+    EXPECT_TRUE(flag.enabled());
+    debug::disableFlag("TestPreArm");
+}
+
+TEST(DebugFlags, ExplicitRegistryIsIndependent)
+{
+    debug::Registry local;
+    debug::Flag mine("TestLocal", local);
+    // The process registry does not know the local flag's name.
+    EXPECT_THROW(debug::enableFlag("TestLocal"), FatalError);
+    local.enable("TestLocal");
+    EXPECT_TRUE(mine.enabled());
 }
 
 TEST(DebugFlags, DestructorUnregisters)

@@ -6,9 +6,11 @@
  * right location.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -318,6 +320,388 @@ TEST(LintR5, IncludeGuardConformance)
               std::string::npos);
 }
 
+TEST(LintR4, MissingDocSectionIsFinding)
+{
+    // Satellite fix pin: restructuring the manual so the configured
+    // heading no longer exists must be a finding, not a silently
+    // empty scan.
+    TempTree t;
+    RulesConfig cfg;
+    cfg.scanDirs = {"src"};
+    cfg.configSource = "src/parser.cc";
+    cfg.configDirs = {"configs"};
+    cfg.docFile = "docs/manual.md";
+    cfg.docSection = "5.";
+    t.write("src/parser.cc", "void parse() { set(\"tlb.entries\"); }\n");
+    t.write("configs/a.cfg", "tlb.entries = 64\n");
+    t.write("docs/manual.md",
+            "## 6. Other section\n"
+            "| `tlb.entries` | entries |\n");
+    const auto fs = runLint(t.root(), cfg, {"R4"});
+    ASSERT_EQ(fs.size(), 1u) << messages(fs);
+    EXPECT_EQ(fs[0].file, "docs/manual.md");
+    EXPECT_NE(fs[0].message.find("doc-section"), std::string::npos);
+}
+
+TEST(LintR4, MultiWordDocSectionHeading)
+{
+    // doc-section takes the rest of the line, so a heading like
+    // "Configuration key reference" is configurable verbatim.
+    TempTree t;
+    RulesConfig cfg;
+    cfg.scanDirs = {"src"};
+    cfg.configSource = "src/parser.cc";
+    cfg.configDirs = {"configs"};
+    cfg.docFile = "docs/manual.md";
+    cfg.docSection = "Configuration key reference";
+    t.write("src/parser.cc", "void parse() { set(\"tlb.entries\"); }\n");
+    t.write("configs/a.cfg", "tlb.entries = 64\n");
+    t.write("docs/manual.md",
+            "## Configuration key reference\n"
+            "| `tlb.entries` | entries |\n");
+    const auto fs = runLint(t.root(), cfg, {"R4"});
+    EXPECT_TRUE(fs.empty()) << messages(fs);
+}
+
+namespace
+{
+
+/** Minimal R6 rules over a scratch tree. */
+RulesConfig
+globalsRules()
+{
+    RulesConfig cfg;
+    cfg.scanDirs = {"src"};
+    cfg.globalDirs = {"src"};
+    cfg.r6Baseline = "lint/baseline.txt";
+    cfg.nonPodTypes = {"map", "vector", "string"};
+    return cfg;
+}
+
+} // namespace
+
+TEST(LintR6, MutableGlobalInventory)
+{
+    TempTree t;
+    t.write("src/g.cc",
+            "int counter = 0;\n"                        // 1: finding
+            "const int kLimit = 4;\n"                   // const POD
+            "constexpr int kSize = 8;\n"                // constexpr
+            "static std::map<int, int> lookup;\n"       // 4: finding
+            "const std::map<int, int> kTable = {};\n"   // 5: nonpod
+            "void f()\n"
+            "{\n"
+            "    static int calls = 0;\n"               // 8: finding
+            "    int local = 0;\n"                      // plain local
+            "    (void)local;\n"
+            "}\n"
+            "struct S\n"
+            "{\n"
+            "    int member_ = 0;\n"                    // instance
+            "};\n");
+    const auto fs = runLint(t.root(), globalsRules(), {"R6"});
+    ASSERT_EQ(fs.size(), 4u) << messages(fs);
+    EXPECT_EQ(fs[0].line, 1);
+    EXPECT_NE(fs[0].message.find("counter"), std::string::npos);
+    EXPECT_EQ(fs[1].line, 4);
+    EXPECT_NE(fs[1].message.find("lookup"), std::string::npos);
+    EXPECT_EQ(fs[2].line, 5);
+    EXPECT_NE(fs[2].message.find("kTable"), std::string::npos);
+    EXPECT_EQ(fs[3].line, 8);
+    EXPECT_NE(fs[3].message.find("calls"), std::string::npos);
+}
+
+TEST(LintR6, ClassStaticMemberIsInventoried)
+{
+    TempTree t;
+    t.write("src/s.hh",
+            "struct S\n"
+            "{\n"
+            "    static int shared_;\n"
+            "    static constexpr int kOk = 1;\n"
+            "    int member_ = 0;\n"
+            "};\n");
+    const auto fs = runLint(t.root(), globalsRules(), {"R6"});
+    ASSERT_EQ(fs.size(), 1u) << messages(fs);
+    EXPECT_EQ(fs[0].line, 3);
+    EXPECT_NE(fs[0].message.find("shared_"), std::string::npos);
+}
+
+TEST(LintR6, BaselineRatchet)
+{
+    TempTree t;
+    // 'a' is annotated AND baselined -> clean. 'b' is annotated but
+    // not baselined -> finding (annotations alone cannot grow the
+    // inventory). Baseline entry 'gone' matches nothing -> stale
+    // finding (the ratchet only turns one way).
+    t.write("src/g.cc",
+            "int a = 0; // mtlb-lint: allow(R6)\n"
+            "int b = 0; // mtlb-lint: allow(R6)\n");
+    t.write("lint/baseline.txt",
+            "# comment\n"
+            "src/g.cc a\n"
+            "src/g.cc gone\n");
+    const auto fs = runLint(t.root(), globalsRules(), {"R6"});
+    ASSERT_EQ(fs.size(), 2u) << messages(fs);
+    EXPECT_EQ(fs[0].file, "lint/baseline.txt");
+    EXPECT_EQ(fs[0].line, 3);
+    EXPECT_NE(fs[0].message.find("stale"), std::string::npos);
+    EXPECT_EQ(fs[1].file, "src/g.cc");
+    EXPECT_EQ(fs[1].line, 2);
+    EXPECT_NE(fs[1].message.find("not in the ratchet baseline"),
+              std::string::npos);
+}
+
+TEST(LintR6, KeepAllowedReportsBaselinedEntries)
+{
+    TempTree t;
+    t.write("src/g.cc", "int a = 0; // mtlb-lint: allow(R6)\n");
+    t.write("lint/baseline.txt", "src/g.cc a\n");
+    EXPECT_TRUE(runLint(t.root(), globalsRules(), {"R6"}).empty());
+    const auto fs = runLint(t.root(), globalsRules(), {"R6"}, true);
+    ASSERT_EQ(fs.size(), 1u) << messages(fs);
+    EXPECT_TRUE(fs[0].allowed);
+    EXPECT_EQ(fs[0].line, 1);
+}
+
+namespace
+{
+
+RulesConfig
+ownershipRules()
+{
+    RulesConfig cfg;
+    cfg.scanDirs = {"src"};
+    cfg.ownedTypes = {"Kernel", "Tlb"};
+    cfg.ownerClasses = {"Cpu"};
+    return cfg;
+}
+
+} // namespace
+
+TEST(LintR7, EscapedComponentPointerIsFlagged)
+{
+    TempTree t;
+    t.write("src/o.hh",
+            "class Stranger\n"
+            "{\n"
+            "  public:\n"
+            "    void poke();\n"
+            "  private:\n"
+            "    Kernel *kernel_ = nullptr;\n"      // 6: finding
+            "    Tlb &tlb_;\n"                      // 7: finding
+            "    int plain_ = 0;\n"
+            "};\n");
+    const auto fs = runLint(t.root(), ownershipRules(), {"R7"});
+    ASSERT_EQ(fs.size(), 2u) << messages(fs);
+    EXPECT_EQ(fs[0].line, 6);
+    EXPECT_NE(fs[0].message.find("Kernel"), std::string::npos);
+    EXPECT_EQ(fs[1].line, 7);
+    EXPECT_NE(fs[1].message.find("Tlb"), std::string::npos);
+}
+
+TEST(LintR7, OwnerClassMayBorrow)
+{
+    TempTree t;
+    t.write("src/o.hh",
+            "class Cpu\n"
+            "{\n"
+            "    Kernel &kernel_;\n"
+            "    Tlb *tlb_ = nullptr;\n"
+            "};\n");
+    const auto fs = runLint(t.root(), ownershipRules(), {"R7"});
+    EXPECT_TRUE(fs.empty()) << messages(fs);
+}
+
+TEST(LintR7, SmartPointerAndValueMembersAreFine)
+{
+    TempTree t;
+    t.write("src/o.hh",
+            "class Holder\n"
+            "{\n"
+            "    std::unique_ptr<Kernel> kernel_;\n"
+            "    Tlb tlbByValue_;\n"
+            "    Kernel *escaped_;   // mtlb-lint: allow(R7)\n"
+            "};\n");
+    const auto fs = runLint(t.root(), ownershipRules(), {"R7"});
+    EXPECT_TRUE(fs.empty()) << messages(fs);
+}
+
+namespace
+{
+
+RulesConfig
+lockRules()
+{
+    RulesConfig cfg;
+    cfg.scanDirs = {"src"};
+    cfg.lockFreeDirs = {"src/tlb"};
+    cfg.lockIdents = {"mutex", "atomic", "lock_guard"};
+    cfg.guardedMembers = {{"src/w.cc", "shared_", "mutex_"}};
+    return cfg;
+}
+
+} // namespace
+
+TEST(LintR8, GuardedMemberAccessDiscipline)
+{
+    TempTree t;
+    t.write("src/w.cc",
+            "void good()\n"
+            "{\n"
+            "    std::lock_guard<std::mutex> lock(mutex_);\n"
+            "    shared_ = 1;\n"
+            "}\n"
+            "void nested()\n"
+            "{\n"
+            "    std::lock_guard<std::mutex> lock(mutex_);\n"
+            "    if (shared_ > 0) {\n"
+            "        shared_ = 2;\n"
+            "    }\n"
+            "}\n"
+            "void bad()\n"
+            "{\n"
+            "    shared_ = 3;\n"                    // 15: finding
+            "}\n");
+    const auto fs = runLint(t.root(), lockRules(), {"R8"});
+    ASSERT_EQ(fs.size(), 1u) << messages(fs);
+    EXPECT_EQ(fs[0].line, 15);
+    EXPECT_NE(fs[0].message.find("shared_"), std::string::npos);
+    EXPECT_NE(fs[0].message.find("mutex_"), std::string::npos);
+}
+
+TEST(LintR8, LockInPrecedingSiblingScopeDoesNotCount)
+{
+    TempTree t;
+    // A lock taken in an earlier block has been released by the
+    // time the access runs: scope containment, not just program
+    // order, decides.
+    t.write("src/w.cc",
+            "void f()\n"
+            "{\n"
+            "    {\n"
+            "        std::lock_guard<std::mutex> lock(mutex_);\n"
+            "    }\n"
+            "    shared_ = 1;\n"                    // 6: finding
+            "}\n");
+    const auto fs = runLint(t.root(), lockRules(), {"R8"});
+    ASSERT_EQ(fs.size(), 1u) << messages(fs);
+    EXPECT_EQ(fs[0].line, 6);
+}
+
+TEST(LintR8, HotPathMustBeLockFree)
+{
+    TempTree t;
+    t.write("src/tlb/hot.cc",
+            "void f()\n"
+            "{\n"
+            "    std::atomic<int> x{0};\n"          // 3: finding
+            "}\n");
+    t.write("src/other/cold.cc",
+            "std::atomic<int> fine{0};  // mtlb-lint: allow(R6)\n");
+    const auto fs = runLint(t.root(), lockRules(), {"R8"});
+    ASSERT_EQ(fs.size(), 1u) << messages(fs);
+    EXPECT_EQ(fs[0].file, "src/tlb/hot.cc");
+    EXPECT_EQ(fs[0].line, 3);
+}
+
+namespace
+{
+
+RulesConfig
+determinismRules()
+{
+    RulesConfig cfg;
+    cfg.scanDirs = {"src"};
+    cfg.detSinks = {"sample", "onPageMapped"};
+    return cfg;
+}
+
+} // namespace
+
+TEST(LintR9, UnorderedIterationFeedingStatIsFlagged)
+{
+    TempTree t;
+    t.write("src/d.cc",
+            "struct D\n"
+            "{\n"
+            "    std::unordered_map<int, int> m_;\n"
+            "    std::map<int, int> ordered_;\n"
+            "    void tainted()\n"
+            "    {\n"
+            "        for (auto &kv : m_)\n"         // 7: finding
+            "            hist_.sample(kv.second);\n"
+            "    }\n"
+            "    void orderedIsFine()\n"
+            "    {\n"
+            "        for (auto &kv : ordered_)\n"
+            "            hist_.sample(kv.second);\n"
+            "    }\n"
+            "    void iterationWithoutSinkIsFine()\n"
+            "    {\n"
+            "        int sum = 0;\n"
+            "        for (auto &kv : m_)\n"
+            "            sum += kv.second;\n"
+            "    }\n"
+            "};\n");
+    const auto fs = runLint(t.root(), determinismRules(), {"R9"});
+    ASSERT_EQ(fs.size(), 1u) << messages(fs);
+    EXPECT_EQ(fs[0].line, 7);
+    EXPECT_NE(fs[0].message.find("m_"), std::string::npos);
+}
+
+TEST(LintR9, PointerKeyedMapAndExplicitIteratorsCount)
+{
+    TempTree t;
+    t.write("src/d.cc",
+            "struct D\n"
+            "{\n"
+            "    std::map<Node *, int> byNode_;\n"
+            "    void hooks()\n"
+            "    {\n"
+            "        auto it = byNode_.begin();\n"  // 6: finding
+            "        observer_->onPageMapped(it->second, 0);\n"
+            "    }\n"
+            "};\n");
+    const auto fs = runLint(t.root(), determinismRules(), {"R9"});
+    ASSERT_EQ(fs.size(), 1u) << messages(fs);
+    EXPECT_EQ(fs[0].line, 6);
+    EXPECT_NE(fs[0].message.find("pointer-keyed"), std::string::npos);
+}
+
+TEST(LintOutput, GithubAnnotationFormat)
+{
+    Finding f;
+    f.file = "src/a.cc";
+    f.line = 3;
+    f.id = "R6";
+    f.name = "no-mutable-global-state";
+    f.message = "mutable global 'x'";
+    EXPECT_EQ(mtlblint::formatGithub(f),
+              "::error file=src/a.cc,line=3,"
+              "title=mtlb-lint R6 no-mutable-global-state"
+              "::mutable global 'x'");
+}
+
+TEST(LintOutput, JsonCarriesAllowStatusAndLiveCount)
+{
+    Finding live;
+    live.file = "src/a.cc";
+    live.line = 3;
+    live.id = "R6";
+    live.name = "no-mutable-global-state";
+    live.message = "mutable global \"x\"";
+    Finding allowed = live;
+    allowed.line = 9;
+    allowed.allowed = true;
+    const std::string json = mtlblint::formatJson({live, allowed});
+    EXPECT_NE(json.find("\"allowed\": false"), std::string::npos);
+    EXPECT_NE(json.find("\"allowed\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\\\"x\\\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"rule\": \"R6\""), std::string::npos);
+}
+
 TEST(LintLexer, SuppressionsAndStringsSurviveTokenizing)
 {
     TempTree t;
@@ -405,6 +789,142 @@ TEST(LintSelfHost, DeletedObserverHookIsCaught)
     ASSERT_FALSE(fs.empty());
     EXPECT_EQ(fs[0].id, "R2");
     EXPECT_EQ(fs[0].file, "src/os/kernel.cc");
+}
+
+namespace
+{
+
+/** Read a real repo file's contents. */
+std::string
+realFile(const std::string &rel)
+{
+    std::ifstream is(std::string(MTLBSIM_REPO_ROOT) + "/" + rel);
+    EXPECT_TRUE(is.good()) << rel;
+    std::ostringstream out;
+    out << is.rdbuf();
+    return out.str();
+}
+
+int
+lineCount(const std::string &text)
+{
+    return static_cast<int>(
+        std::count(text.begin(), text.end(), '\n'));
+}
+
+RulesConfig
+repoRules()
+{
+    return RulesConfig::load(std::string(MTLBSIM_REPO_ROOT) +
+                             "/tools/lint/rules.cfg");
+}
+
+} // namespace
+
+TEST(LintSelfHost, BaselinedGlobalStateIsTiny)
+{
+    // The acceptance bar: at most two surviving mutable globals, both
+    // annotated and baselined (reported only via keepAllowed).
+    const auto fs =
+        runLint(MTLBSIM_REPO_ROOT, repoRules(), {"R6"}, true);
+    EXPECT_LE(fs.size(), 2u) << messages(fs);
+    for (const auto &f : fs)
+        EXPECT_TRUE(f.allowed) << mtlblint::format(f);
+}
+
+TEST(LintSelfHost, PlantedMutableGlobalIsCaught)
+{
+    TempTree t;
+    // Mirror the files the baseline references so the ratchet itself
+    // stays satisfied, then plant a fresh global.
+    t.write("src/base/debug.cc", realFile("src/base/debug.cc"));
+    t.write("tools/lint/r6_baseline.txt",
+            realFile("tools/lint/r6_baseline.txt"));
+    const std::string logging = realFile("src/base/logging.cc");
+    t.write("src/base/logging.cc",
+            logging + "int gSneakyCounter = 0;\n");
+    const int planted = lineCount(logging) + 1;
+
+    const auto fs = runLint(t.root(), repoRules(), {"R6"});
+    ASSERT_EQ(fs.size(), 1u) << messages(fs);
+    EXPECT_EQ(fs[0].file, "src/base/logging.cc");
+    EXPECT_EQ(fs[0].line, planted);
+    EXPECT_NE(fs[0].message.find("gSneakyCounter"), std::string::npos);
+}
+
+TEST(LintSelfHost, PlantedEscapingKernelPointerIsCaught)
+{
+    TempTree t;
+    const std::string sweep = realFile("src/sweep/sweep.hh");
+    t.write("src/sweep/sweep.hh",
+            sweep +
+                "class RogueObserver\n"
+                "{\n"
+                "    Kernel *kernel_;\n"
+                "};\n");
+    const int planted = lineCount(sweep) + 3;
+
+    const auto fs = runLint(t.root(), repoRules(), {"R7"});
+    ASSERT_EQ(fs.size(), 1u) << messages(fs);
+    EXPECT_EQ(fs[0].id, "R7");
+    EXPECT_EQ(fs[0].file, "src/sweep/sweep.hh");
+    EXPECT_EQ(fs[0].line, planted);
+    EXPECT_NE(fs[0].message.find("Kernel"), std::string::npos);
+}
+
+TEST(LintSelfHost, DeletedLockGuardIsCaught)
+{
+    TempTree t;
+    const std::string real = realFile("src/sweep/sweep.cc");
+    std::istringstream is(real);
+    std::ostringstream out;
+    std::string line;
+    int lineNo = 0, accessLine = 0;
+    bool deleted = false;
+    while (std::getline(is, line)) {
+        if (!deleted &&
+            line.find("std::lock_guard<std::mutex> lock(progressMutex)") !=
+                std::string::npos) {
+            deleted = true;
+            continue;       // drop the lock: accesses go unguarded
+        }
+        ++lineNo;
+        if (deleted && !accessLine &&
+            line.find("if (progress)") != std::string::npos) {
+            accessLine = lineNo;
+        }
+        out << line << "\n";
+    }
+    ASSERT_TRUE(deleted);
+    ASSERT_GT(accessLine, 0);
+    t.write("src/sweep/sweep.cc", out.str());
+
+    const auto fs = runLint(t.root(), repoRules(), {"R8"});
+    ASSERT_FALSE(fs.empty()) << messages(fs);
+    EXPECT_EQ(fs[0].id, "R8");
+    EXPECT_EQ(fs[0].file, "src/sweep/sweep.cc");
+    EXPECT_EQ(fs[0].line, accessLine);
+    EXPECT_NE(fs[0].message.find("progress"), std::string::npos);
+}
+
+TEST(LintSelfHost, PlantedUnorderedIterationFeedingStatIsCaught)
+{
+    TempTree t;
+    t.write("src/mtlb/taint.cc",
+            "struct Taint\n"
+            "{\n"
+            "    std::unordered_map<int, int> depths_;\n"
+            "    void record()\n"
+            "    {\n"
+            "        for (auto &kv : depths_)\n"    // 6: finding
+            "            histogram_.sample(kv.second);\n"
+            "    }\n"
+            "};\n");
+    const auto fs = runLint(t.root(), repoRules(), {"R9"});
+    ASSERT_EQ(fs.size(), 1u) << messages(fs);
+    EXPECT_EQ(fs[0].id, "R9");
+    EXPECT_EQ(fs[0].file, "src/mtlb/taint.cc");
+    EXPECT_EQ(fs[0].line, 6);
 }
 
 #endif // MTLBSIM_REPO_ROOT

@@ -185,9 +185,14 @@ tokenize(const std::string &path, const std::string &text)
         }
         if (std::isdigit(static_cast<unsigned char>(c))) {
             size_t start = i;
-            while (i < n && (isIdentChar(text[i]) || text[i] == '.' ||
-                             ((text[i] == '+' || text[i] == '-') &&
-                              (text[i - 1] == 'e' || text[i - 1] == 'E')))) {
+            while (i < n &&
+                   (isIdentChar(text[i]) || text[i] == '.' ||
+                    ((text[i] == '+' || text[i] == '-') &&
+                     (text[i - 1] == 'e' || text[i - 1] == 'E')) ||
+                    // C++14 digit separator: 100'000 is one number,
+                    // not a number followed by a char literal.
+                    (text[i] == '\'' && i + 1 < n &&
+                     isIdentChar(text[i + 1])))) {
                 ++i;
             }
             out.tokens.push_back({TokKind::Number,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -307,6 +308,336 @@ extractFunctions(const SourceFile &src, const RulesConfig &cfg)
     return fns;
 }
 
+// --------------------------------------------------------------------
+// Scope tree: a single structural pass shared by R6-R9.
+// --------------------------------------------------------------------
+
+enum class ScopeKind
+{
+    File,       ///< top level (treated as namespace scope)
+    Namespace,  ///< namespace { } / extern "C" { }
+    Class,      ///< class / struct / union / enum body
+    Func,       ///< function body (brace follows a parameter list)
+    Block,      ///< control-flow block / lambda body inside a function
+    Init,       ///< braced initialiser
+};
+
+struct Scope
+{
+    ScopeKind kind = ScopeKind::File;
+    std::string name;       ///< class/namespace name when known
+    size_t open = 0;        ///< token index of '{' (0 for File)
+    size_t close = 0;       ///< token index of '}' (n for File)
+    int parent = -1;
+};
+
+/**
+ * A statement at some scope's own level: the indices of its tokens,
+ * child-scope braces included as single '{' / '}' markers (their
+ * contents belong to the child).
+ */
+struct Stmt
+{
+    int scope = 0;
+    std::vector<size_t> toks;
+};
+
+struct ScopeTree
+{
+    std::vector<Scope> scopes;      ///< [0] is the File scope
+    std::vector<int> scopeOf;       ///< token index -> innermost scope
+    std::vector<Stmt> stmts;        ///< namespace/class-level statements
+
+    bool
+    isAncestor(int anc, int scope) const
+    {
+        for (int s = scope; s != -1; s = scopes[s].parent) {
+            if (s == anc)
+                return true;
+        }
+        return false;
+    }
+
+    /** Innermost enclosing Func scope, or -1. */
+    int
+    enclosingFunc(int scope) const
+    {
+        for (int s = scope; s != -1; s = scopes[s].parent) {
+            if (scopes[s].kind == ScopeKind::Func)
+                return s;
+        }
+        return -1;
+    }
+};
+
+bool
+classKeyword(const std::string &s)
+{
+    return s == "class" || s == "struct" || s == "union" || s == "enum";
+}
+
+/**
+ * One linear pass classifying every brace and collecting per-scope
+ * statements. Brace classification looks at the pending statement
+ * tokens: a `namespace` keyword opens a Namespace, a class-head
+ * keyword (outside a leading `template <...>` group) opens a Class,
+ * a brace after `)` opens a Func at namespace/class scope and a
+ * Block inside a function, and a brace after an identifier / `=` /
+ * `,` is a braced initialiser. Preprocessor lines are skipped
+ * wholesale (a `#` swallows the rest of its source line).
+ */
+ScopeTree
+buildScopes(const std::vector<Token> &t)
+{
+    ScopeTree tree;
+    tree.scopes.push_back({ScopeKind::File, "", 0, t.size(), -1});
+    tree.scopeOf.assign(t.size(), 0);
+    std::vector<int> stack = {0};
+
+    // Pending statement (token indices) per open scope.
+    std::vector<std::vector<size_t>> pending(1);
+
+    auto flush = [&]() {
+        if (pending.back().empty())
+            return;
+        tree.stmts.push_back(Stmt{stack.back(), std::move(pending.back())});
+        pending.back().clear();
+    };
+
+    int ppLine = -1;    // line of an in-flight preprocessor directive
+    for (size_t i = 0; i < t.size(); ++i) {
+        const Token &tok = t[i];
+        tree.scopeOf[i] = stack.back();
+        if (ppLine != -1 && tok.line == ppLine)
+            continue;
+        ppLine = -1;
+        if (tok.kind == TokKind::Punct && tok.text == "#") {
+            ppLine = tok.line;
+            continue;
+        }
+
+        if (tok.kind == TokKind::Punct && tok.text == "{") {
+            const auto &p = pending.back();
+            const ScopeKind outer = tree.scopes[stack.back()].kind;
+            const bool outerIsType =
+                outer == ScopeKind::File || outer == ScopeKind::Namespace ||
+                outer == ScopeKind::Class;
+
+            ScopeKind kind = ScopeKind::Block;
+            std::string name;
+            bool sawNamespace = false, sawClass = false;
+            size_t angle = 0;
+            bool inTemplateIntro = false;
+            std::string lastIdent;
+            std::string classNameAfterKeyword;
+            bool wantClassName = false;
+            for (size_t pi : p) {
+                const Token &pt = t[pi];
+                if (pt.kind == TokKind::Identifier) {
+                    if (pt.text == "template") {
+                        inTemplateIntro = true;
+                    } else if (!inTemplateIntro) {
+                        if (pt.text == "namespace")
+                            sawNamespace = true;
+                        else if (classKeyword(pt.text))
+                            sawClass = wantClassName = true;
+                        else if (wantClassName &&
+                                 classNameAfterKeyword.empty())
+                            classNameAfterKeyword = pt.text;
+                        lastIdent = pt.text;
+                    }
+                } else if (pt.kind == TokKind::Punct) {
+                    if (pt.text == "<") {
+                        ++angle;
+                    } else if (pt.text == ">") {
+                        if (angle && --angle == 0)
+                            inTemplateIntro = false;
+                    }
+                }
+            }
+            const Token *prev = p.empty() ? nullptr : &t[p.back()];
+            // A function body's brace may trail cv/ref/virt
+            // qualifiers: `run(...) const noexcept override {`. Skip
+            // them so the `)`-rule still sees the parameter list.
+            static const std::set<std::string> kFnQualifiers = {
+                "const", "noexcept", "override", "final", "mutable"};
+            const Token *effPrev = nullptr;
+            for (size_t q = p.size(); q-- > 0;) {
+                const Token &qt = t[p[q]];
+                if (qt.kind == TokKind::Identifier &&
+                    kFnQualifiers.count(qt.text)) {
+                    continue;
+                }
+                if (qt.kind == TokKind::Punct && qt.text == "&")
+                    continue;   // ref-qualifier
+                effPrev = &qt;
+                break;
+            }
+            if (sawNamespace) {
+                kind = ScopeKind::Namespace;
+                name = lastIdent == "namespace" ? "" : lastIdent;
+            } else if (prev && prev->kind == TokKind::String) {
+                kind = ScopeKind::Namespace;    // extern "C" { }
+            } else if (effPrev && effPrev->kind == TokKind::Punct &&
+                       effPrev->text == ")") {
+                kind = outerIsType ? ScopeKind::Func : ScopeKind::Block;
+            } else if (sawClass) {
+                kind = ScopeKind::Class;
+                name = classNameAfterKeyword;
+            } else if (prev &&
+                       (prev->kind == TokKind::Identifier ||
+                        (prev->kind == TokKind::Punct &&
+                         (prev->text == "=" || prev->text == "," ||
+                          prev->text == "(" || prev->text == "[" ||
+                          prev->text == ">")))) {
+                // Braced initialiser (or a lambda body after a
+                // trailing return type; both are expression context).
+                kind = prev->kind == TokKind::Identifier &&
+                               prev->text == "return"
+                           ? ScopeKind::Block
+                           : ScopeKind::Init;
+            } else {
+                kind = outerIsType ? ScopeKind::Init : ScopeKind::Block;
+            }
+
+            // An Init brace stays part of its statement; everything
+            // else terminates the pending statement (recorded so
+            // e.g. a function signature is visible at its scope).
+            if (kind == ScopeKind::Init)
+                pending.back().push_back(i);
+            else
+                flush();
+
+            Scope s;
+            s.kind = kind;
+            s.name = name;
+            s.open = i;
+            s.close = t.size();
+            s.parent = stack.back();
+            tree.scopes.push_back(s);
+            stack.push_back(static_cast<int>(tree.scopes.size() - 1));
+            pending.emplace_back();
+            tree.scopeOf[i] = stack.back();
+            continue;
+        }
+        if (tok.kind == TokKind::Punct && tok.text == "}") {
+            if (stack.size() > 1) {
+                flush();
+                tree.scopes[stack.back()].close = i;
+                const ScopeKind closed = tree.scopes[stack.back()].kind;
+                tree.scopeOf[i] = stack.back();
+                stack.pop_back();
+                pending.pop_back();
+                // A closed initialiser remains part of the enclosing
+                // statement; a closed class awaits its declarator
+                // (`struct X { } x;` is rare but legal) - keep the
+                // brace markers in the pending statement for both.
+                if (closed == ScopeKind::Init) {
+                    pending.back().push_back(i);
+                } else {
+                    pending.back().clear();
+                }
+            }
+            continue;
+        }
+        if (tok.kind == TokKind::Punct && tok.text == ";") {
+            flush();
+            continue;
+        }
+        pending.back().push_back(i);
+    }
+    flush();    // trailing unterminated statement
+    return tree;
+}
+
+/** Token index just past a balanced `<...>` group starting at the
+ *  `<` at @p i, or i+1 if it never closes. */
+size_t
+skipAngles(const std::vector<Token> &t, size_t i)
+{
+    size_t depth = 0;
+    for (size_t j = i; j < t.size(); ++j) {
+        if (t[j].kind != TokKind::Punct)
+            continue;
+        if (t[j].text == "<") {
+            ++depth;
+        } else if (t[j].text == ">") {
+            if (--depth == 0)
+                return j + 1;
+        } else if (t[j].text == ";") {
+            break;      // malformed / not a template argument list
+        }
+    }
+    return i + 1;
+}
+
+/**
+ * Statement-level variable-definition detection shared by R6 and R7.
+ *
+ * Finds the declarator: the identifier immediately before the first
+ * top-level `=`, `[`, `;`-end, Init-brace, or (at function scope
+ * only) `(` - constructor-style initialisation. Returns npos for
+ * statements that declare functions, types, aliases, templates, or
+ * nothing at all.
+ */
+size_t
+declaratorOf(const std::vector<Token> &t, const Stmt &stmt,
+             bool parenInitAllowed)
+{
+    static const std::set<std::string> kSkipWords = {
+        "using", "typedef", "extern", "friend", "template", "operator",
+        "static_assert", "namespace", "return", "delete", "new",
+        "if", "for", "while", "switch", "do", "case", "goto", "throw",
+    };
+    static const std::set<std::string> kAccess = {"public", "private",
+                                                  "protected"};
+    // An access specifier opens the statement (`private: Type x;`);
+    // skip it rather than rejecting the member that follows.
+    size_t first = 0;
+    while (first + 1 < stmt.toks.size() &&
+           t[stmt.toks[first]].kind == TokKind::Identifier &&
+           kAccess.count(t[stmt.toks[first]].text) &&
+           t[stmt.toks[first + 1]].text == ":") {
+        first += 2;
+    }
+    for (size_t k = first; k < stmt.toks.size(); ++k) {
+        size_t pi = stmt.toks[k];
+        if (t[pi].kind == TokKind::Identifier && kSkipWords.count(t[pi].text))
+            return std::string::npos;
+        if (classKeyword(t[pi].text))
+            return std::string::npos;
+    }
+    size_t prevIdent = std::string::npos;
+    for (size_t k = first; k < stmt.toks.size(); ++k) {
+        const Token &tok = t[stmt.toks[k]];
+        if (tok.kind == TokKind::Identifier) {
+            prevIdent = stmt.toks[k];
+            continue;
+        }
+        if (tok.kind != TokKind::Punct)
+            continue;
+        if (tok.text == "<") {
+            // Skip the template argument group inside this statement.
+            size_t past = skipAngles(t, stmt.toks[k]);
+            while (k < stmt.toks.size() && stmt.toks[k] < past)
+                ++k;
+            --k;
+            prevIdent = std::string::npos;
+            continue;
+        }
+        if (tok.text == "=" || tok.text == "[" || tok.text == "{")
+            return prevIdent;
+        if (tok.text == "(")
+            return parenInitAllowed ? prevIdent : std::string::npos;
+        if (tok.text == "*" || tok.text == "&" || tok.text == "::" ||
+            tok.text == ",") {
+            prevIdent = std::string::npos;
+            continue;
+        }
+    }
+    return prevIdent;   // plain `Type name ;`
+}
+
 } // namespace
 
 // --------------------------------------------------------------------
@@ -332,14 +663,22 @@ RulesConfig::load(const std::string &path)
         if (line.empty())
             continue;
         std::istringstream iss(line);
-        std::string dir, a, b;
+        std::string dir, a, b, c;
         iss >> dir >> a;
         iss >> b;    // optional second operand
+        iss >> c;    // optional third operand
         auto need2 = [&]() {
             if (b.empty()) {
                 throw std::runtime_error(
                     path + ":" + std::to_string(no) + ": '" + dir +
                     "' needs two operands");
+            }
+        };
+        auto need3 = [&]() {
+            if (c.empty()) {
+                throw std::runtime_error(
+                    path + ":" + std::to_string(no) + ": '" + dir +
+                    "' needs three operands");
             }
         };
         if (a.empty()) {
@@ -382,6 +721,30 @@ RulesConfig::load(const std::string &path)
             cfg.docSection = a;
             if (!b.empty())
                 cfg.docSection += " " + b;
+            if (!c.empty())
+                cfg.docSection += " " + c;
+            std::string rest;
+            while (iss >> rest)
+                cfg.docSection += " " + rest;
+        } else if (dir == "global-dir") {
+            cfg.globalDirs.push_back(a);
+        } else if (dir == "r6-baseline") {
+            cfg.r6Baseline = a;
+        } else if (dir == "nonpod-type") {
+            cfg.nonPodTypes.insert(a);
+        } else if (dir == "owned-type") {
+            cfg.ownedTypes.insert(a);
+        } else if (dir == "owner-class") {
+            cfg.ownerClasses.insert(a);
+        } else if (dir == "lock-free-dir") {
+            cfg.lockFreeDirs.push_back(a);
+        } else if (dir == "lock-ident") {
+            cfg.lockIdents.insert(a);
+        } else if (dir == "guarded-member") {
+            need3();
+            cfg.guardedMembers.push_back({a, b, c});
+        } else if (dir == "det-sink") {
+            cfg.detSinks.insert(a);
         } else if (dir == "banned") {
             cfg.banned.insert(a);
         } else if (dir == "banned-exempt") {
@@ -402,7 +765,91 @@ std::string
 format(const Finding &f)
 {
     return f.file + ":" + std::to_string(f.line) + ": [" + f.id + " " +
-           f.name + "] " + f.message;
+           f.name + "] " + f.message +
+           (f.allowed ? " (allowed)" : "");
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+formatGithub(const Finding &f)
+{
+    // GitHub annotation commands treat the message as a single line;
+    // properties are escaped per the workflow-command grammar.
+    auto prop = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '%') out += "%25";
+            else if (c == '\r') out += "%0D";
+            else if (c == '\n') out += "%0A";
+            else if (c == ',') out += "%2C";
+            else if (c == ':') out += "%3A";
+            else out += c;
+        }
+        return out;
+    };
+    auto data = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '%') out += "%25";
+            else if (c == '\r') out += "%0D";
+            else if (c == '\n') out += "%0A";
+            else out += c;
+        }
+        return out;
+    };
+    return "::error file=" + prop(f.file) + ",line=" +
+           std::to_string(f.line) + ",title=" +
+           prop("mtlb-lint " + f.id + " " + f.name) +
+           "::" + data(f.message);
+}
+
+std::string
+formatJson(const std::vector<Finding> &findings)
+{
+    std::ostringstream os;
+    os << "{\n  \"findings\": [";
+    size_t live = 0;
+    for (size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        if (!f.allowed)
+            ++live;
+        os << (i ? ",\n    " : "\n    ") << "{\"file\": \""
+           << jsonEscape(f.file) << "\", \"line\": " << f.line
+           << ", \"rule\": \"" << f.id << "\", \"name\": \""
+           << jsonEscape(f.name) << "\", \"message\": \""
+           << jsonEscape(f.message) << "\", \"allowed\": "
+           << (f.allowed ? "true" : "false") << "}";
+    }
+    os << (findings.empty() ? "" : "\n  ") << "],\n  \"count\": " << live
+       << "\n}\n";
+    return os.str();
 }
 
 // --------------------------------------------------------------------
@@ -416,8 +863,8 @@ class Linter
 {
   public:
     Linter(const std::string &root, const RulesConfig &cfg,
-           const std::set<std::string> &only)
-        : root_(root), cfg_(cfg), only_(only)
+           const std::set<std::string> &only, bool keepAllowed)
+        : root_(root), cfg_(cfg), only_(only), keepAllowed_(keepAllowed)
     {}
 
     std::vector<Finding> run();
@@ -431,8 +878,20 @@ class Linter
     void emit(const SourceFile &src, int line, const std::string &id,
               const std::string &name, const std::string &message)
     {
-        if (!suppressed(src, line, id, name))
-            findings_.push_back({src.path, line, id, name, message});
+        const bool allowed = suppressed(src, line, id, name);
+        if (allowed && !keepAllowed_)
+            return;
+        findings_.push_back({src.path, line, id, name, message, allowed});
+    }
+
+    /** Emit bypassing the allow-annotation check. R6's ratchet uses
+     *  this: an annotated global that is missing from the committed
+     *  baseline must still be a finding, or annotations alone could
+     *  grow the inventory. */
+    void emitRaw(const std::string &file, int line, const std::string &id,
+                 const std::string &name, const std::string &message)
+    {
+        findings_.push_back({file, line, id, name, message, false});
     }
 
     std::string abs(const std::string &rel) const
@@ -446,13 +905,21 @@ class Linter
     void checkStats();              // R3
     void checkConfigParity();       // R4
     void checkHygiene();            // R5
+    void checkGlobals();            // R6
+    void checkOwnership();          // R7
+    void checkLocks();              // R8
+    void checkDeterminism();        // R9
+
+    const ScopeTree &scopes(const std::string &rel);
 
     std::string expectedGuard(const std::string &rel) const;
 
     const std::string root_;
     const RulesConfig &cfg_;
     const std::set<std::string> only_;
+    const bool keepAllowed_;
     std::map<std::string, SourceFile> cache_;
+    std::map<std::string, ScopeTree> scopeCache_;
     std::vector<Finding> findings_;
 };
 
@@ -462,6 +929,17 @@ Linter::tokens(const std::string &rel)
     auto it = cache_.find(rel);
     if (it == cache_.end())
         it = cache_.emplace(rel, tokenizeFile(abs(rel), rel)).first;
+    return it->second;
+}
+
+const ScopeTree &
+Linter::scopes(const std::string &rel)
+{
+    auto it = scopeCache_.find(rel);
+    if (it == scopeCache_.end()) {
+        const SourceFile &src = tokens(rel);
+        it = scopeCache_.emplace(rel, buildScopes(src.tokens)).first;
+    }
     return it->second;
 }
 
@@ -712,6 +1190,7 @@ Linter::checkConfigParity()
     if (!cfg_.docFile.empty() && fs::exists(abs(cfg_.docFile))) {
         docSrc = rawFile(abs(cfg_.docFile), cfg_.docFile);
         bool inSection = cfg_.docSection.empty();
+        bool sectionSeen = cfg_.docSection.empty();
         // A heading "matches" the configured section when its text
         // (after the markdown hashes) starts with docSection, e.g.
         // docSection "5." matches "## 5. Configuration keys".
@@ -731,6 +1210,7 @@ Linter::checkConfigParity()
                 line[0] == '#') {
                 inSection =
                     headingText(line).rfind(cfg_.docSection, 0) == 0;
+                sectionSeen = sectionSeen || inSection;
             }
             if (!inSection)
                 continue;
@@ -747,6 +1227,16 @@ Linter::checkConfigParity()
                 }
                 pos = close + 1;
             }
+        }
+        // If the configured heading never matched, the key-reference
+        // scan read nothing — a silently disabled check. Manual
+        // restructuring must update doc-section in rules.cfg.
+        if (!sectionSeen) {
+            emit(docSrc, 1, "R4", "config-key-parity",
+                 "doc-section heading '" + cfg_.docSection +
+                     "' not found in " + cfg_.docFile +
+                     "; the manual key-reference scan matched nothing "
+                     "(update doc-section in rules.cfg)");
         }
     }
 
@@ -893,6 +1383,474 @@ Linter::checkHygiene()
     }
 }
 
+void
+Linter::checkGlobals()
+{
+    if (!enabled("R6") || cfg_.globalDirs.empty())
+        return;
+
+    // The committed ratchet baseline: `<file> <symbol>` per line.
+    struct BaseEntry
+    {
+        std::string file, symbol;
+        int line = 0;
+        bool used = false;
+    };
+    std::vector<BaseEntry> baseline;
+    const std::string basePath = cfg_.r6Baseline;
+    if (!basePath.empty() && fs::exists(abs(basePath))) {
+        std::ifstream in(abs(basePath));
+        std::string line;
+        int no = 0;
+        while (std::getline(in, line)) {
+            ++no;
+            std::string t = trim(line);
+            if (t.empty() || t[0] == '#')
+                continue;
+            BaseEntry e;
+            std::istringstream iss(t);
+            iss >> e.file >> e.symbol;
+            e.line = no;
+            baseline.push_back(e);
+        }
+    }
+    auto inBaseline = [&](const std::string &file, const std::string &sym) {
+        bool hit = false;
+        for (auto &e : baseline) {
+            if (e.file == file && e.symbol == sym)
+                e.used = hit = true;
+        }
+        return hit;
+    };
+
+    for (const auto &rel : listFiles(root_, cfg_.globalDirs,
+                                     {".hh", ".cc"})) {
+        const SourceFile &src = tokens(rel);
+        const ScopeTree &tree = scopes(rel);
+        const auto &t = src.tokens;
+        for (const auto &stmt : tree.stmts) {
+            const ScopeKind k = tree.scopes[stmt.scope].kind;
+            if (k == ScopeKind::Init)
+                continue;
+            bool isStatic = false, isConstexpr = false, isConst = false,
+                 isThreadLocal = false, nonPod = false;
+            for (size_t pi : stmt.toks) {
+                const Token &tok = t[pi];
+                if (tok.kind != TokKind::Identifier)
+                    continue;
+                if (tok.text == "static")
+                    isStatic = true;
+                else if (tok.text == "constexpr")
+                    isConstexpr = true;
+                else if (tok.text == "const")
+                    isConst = true;
+                else if (tok.text == "thread_local")
+                    isThreadLocal = true;
+                if (cfg_.nonPodTypes.count(tok.text))
+                    nonPod = true;
+            }
+            const bool fnScope =
+                k == ScopeKind::Func || k == ScopeKind::Block;
+            // Namespace-scope definitions always count; inside
+            // functions and classes only `static` storage is global
+            // state (plain locals / data members are instance state).
+            if (fnScope && !isStatic && !isThreadLocal)
+                continue;
+            if (k == ScopeKind::Class && !isStatic)
+                continue;
+            if (isConstexpr)
+                continue;
+            size_t decl = declaratorOf(t, stmt, fnScope);
+            if (decl == std::string::npos)
+                continue;
+            if (isConst && !nonPod)
+                continue;       // const POD: immutable after load
+            const std::string sym = t[decl].text;
+            const int line = t[decl].line;
+
+            if (suppressed(src, line, "R6", "no-mutable-global-state")) {
+                if (inBaseline(rel, sym)) {
+                    if (keepAllowed_) {
+                        findings_.push_back(
+                            {rel, line, "R6", "no-mutable-global-state",
+                             "mutable global '" + sym +
+                                 "' (annotated, baselined)",
+                             true});
+                    }
+                } else {
+                    emitRaw(rel, line, "R6", "no-mutable-global-state",
+                            "mutable global '" + sym +
+                                "' is allow-annotated but not in the "
+                                "ratchet baseline " +
+                                basePath +
+                                "; the inventory may only shrink");
+                }
+            } else {
+                emit(src, line, "R6", "no-mutable-global-state",
+                     "mutable " +
+                         std::string(fnScope ? "function-local static"
+                                             : k == ScopeKind::Class
+                                                   ? "static data member"
+                                                   : "namespace-scope "
+                                                     "variable") +
+                         " '" + sym +
+                         "'; move it behind a System-owned context "
+                         "object (or annotate and baseline it)");
+            }
+        }
+    }
+
+    // Stale baseline entries are findings too: the ratchet only turns
+    // one way, so a refactored-away global must also leave the file.
+    for (const auto &e : baseline) {
+        if (!e.used) {
+            emitRaw(basePath, e.line, "R6", "no-mutable-global-state",
+                    "stale baseline entry '" + e.file + " " + e.symbol +
+                        "' has no matching annotated global; delete it");
+        }
+    }
+}
+
+void
+Linter::checkOwnership()
+{
+    if (!enabled("R7") || cfg_.ownedTypes.empty())
+        return;
+    for (const auto &rel : listFiles(root_, cfg_.scanDirs,
+                                     {".hh", ".cc"})) {
+        const SourceFile &src = tokens(rel);
+        const ScopeTree &tree = scopes(rel);
+        const auto &t = src.tokens;
+        for (const auto &stmt : tree.stmts) {
+            if (tree.scopes[stmt.scope].kind != ScopeKind::Class)
+                continue;
+            const std::string &cls = tree.scopes[stmt.scope].name;
+            if (cfg_.ownerClasses.count(cls))
+                continue;
+            size_t decl = declaratorOf(t, stmt, false);
+            if (decl == std::string::npos)
+                continue;
+            // Member pattern `Type *name;` / `Type &name;`: the token
+            // before the declarator must be the pointer/reference
+            // sigil (smart-pointer members end in `>` instead).
+            size_t at = stmt.toks.size();
+            for (size_t k2 = 0; k2 < stmt.toks.size(); ++k2) {
+                if (stmt.toks[k2] == decl) {
+                    at = k2;
+                    break;
+                }
+            }
+            if (at == std::string::npos || at == 0 ||
+                at >= stmt.toks.size()) {
+                continue;
+            }
+            const Token &sigil = t[stmt.toks[at - 1]];
+            if (sigil.kind != TokKind::Punct ||
+                (sigil.text != "*" && sigil.text != "&")) {
+                continue;
+            }
+            // Type name: last identifier before the sigil run,
+            // skipping cv-qualifiers.
+            std::string type;
+            for (size_t k2 = at - 1; k2-- > 0;) {
+                const Token &tt = t[stmt.toks[k2]];
+                if (tt.kind == TokKind::Punct &&
+                    (tt.text == "*" || tt.text == "&")) {
+                    continue;
+                }
+                if (tt.kind == TokKind::Identifier &&
+                    (tt.text == "const" || tt.text == "volatile")) {
+                    continue;
+                }
+                if (tt.kind == TokKind::Identifier)
+                    type = tt.text;
+                break;
+            }
+            if (!cfg_.ownedTypes.count(type))
+                continue;
+            emit(src, t[decl].line, "R7", "ownership-escape",
+                 "class '" + (cls.empty() ? "<anonymous>" : cls) +
+                     "' stores a raw " +
+                     (sigil.text == "*" ? "pointer" : "reference") +
+                     " to System-owned component type '" + type +
+                     "' ('" + t[decl].text +
+                     "'); only classes transitively owned by a System "
+                     "may borrow core components (rules.cfg "
+                     "owner-class)");
+        }
+    }
+}
+
+void
+Linter::checkLocks()
+{
+    if (!enabled("R8"))
+        return;
+
+    // Hot-path purity: simulator-core directories are single-threaded
+    // by contract and must not mention locks or atomics at all.
+    if (!cfg_.lockIdents.empty()) {
+        for (const auto &rel : listFiles(root_, cfg_.lockFreeDirs,
+                                         {".hh", ".cc"})) {
+            const SourceFile &src = tokens(rel);
+            for (const auto &tok : src.tokens) {
+                if (tok.kind == TokKind::Identifier &&
+                    cfg_.lockIdents.count(tok.text)) {
+                    emit(src, tok.line, "R8", "lock-discipline",
+                         "'" + tok.text +
+                             "' in simulator-core directory: the hot "
+                             "path is single-threaded by contract and "
+                             "must stay lock- and atomic-free");
+                }
+            }
+        }
+    }
+
+    // Guarded members: every access must be downstream of a
+    // lock_guard/unique_lock/scoped_lock naming the right mutex in an
+    // enclosing scope.
+    static const std::set<std::string> kLockTakers = {
+        "lock_guard", "unique_lock", "scoped_lock"};
+    for (const auto &gm : cfg_.guardedMembers) {
+        if (!fs::exists(abs(gm.file)))
+            continue;
+        const SourceFile &src = tokens(gm.file);
+        const ScopeTree &tree = scopes(gm.file);
+        const auto &t = src.tokens;
+
+        struct LockEvent
+        {
+            size_t pos;
+            int scope;
+        };
+        std::vector<LockEvent> locks;
+        for (size_t i = 0; i < t.size(); ++i) {
+            if (t[i].kind != TokKind::Identifier ||
+                !kLockTakers.count(t[i].text)) {
+                continue;
+            }
+            // Scan the constructor argument list for the mutex name:
+            // find the declaration's opening paren / brace first.
+            size_t open = i;
+            while (open < t.size() &&
+                   !(t[open].kind == TokKind::Punct &&
+                     (t[open].text == "(" || t[open].text == "{")) &&
+                   !(t[open].kind == TokKind::Punct &&
+                     t[open].text == ";")) {
+                ++open;
+            }
+            if (open >= t.size() || t[open].text == ";")
+                continue;
+            bool names = false;
+            int depth = 0;
+            for (size_t k2 = open; k2 < t.size(); ++k2) {
+                if (t[k2].kind == TokKind::Punct) {
+                    if (t[k2].text == "(" || t[k2].text == "{")
+                        ++depth;
+                    else if (t[k2].text == ")" || t[k2].text == "}") {
+                        if (--depth == 0)
+                            break;
+                    }
+                } else if (t[k2].kind == TokKind::Identifier &&
+                           t[k2].text == gm.mutex) {
+                    names = true;
+                }
+            }
+            if (names)
+                locks.push_back({i, tree.scopeOf[i]});
+        }
+
+        for (size_t i = 0; i < t.size(); ++i) {
+            if (t[i].kind != TokKind::Identifier ||
+                t[i].text != gm.member) {
+                continue;
+            }
+            const int sc = tree.scopeOf[i];
+            if (tree.enclosingFunc(sc) == -1)
+                continue;   // declaration / ctor-init, not an access
+            bool held = false;
+            for (const auto &le : locks) {
+                if (le.pos < i && tree.isAncestor(le.scope, sc)) {
+                    held = true;
+                    break;
+                }
+            }
+            if (!held) {
+                emit(src, t[i].line, "R8", "lock-discipline",
+                     "access to guarded member '" + gm.member +
+                         "' without holding '" + gm.mutex +
+                         "' (no lock_guard/unique_lock/scoped_lock in "
+                         "an enclosing scope)");
+            }
+        }
+    }
+}
+
+void
+Linter::checkDeterminism()
+{
+    if (!enabled("R9") || cfg_.detSinks.empty())
+        return;
+
+    static const std::set<std::string> kUnorderedTypes = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+
+    const auto files = listFiles(root_, cfg_.scanDirs, {".hh", ".cc"});
+
+    // Pass A: names of variables/members declared with an unordered
+    // type, functions returning one by reference, and pointer-keyed
+    // ordered maps (iteration order = allocation order: just as
+    // nondeterministic across runs with ASLR or allocator changes).
+    std::set<std::string> unorderedNames;
+    std::map<std::string, std::string> why;     // name -> description
+    for (const auto &rel : files) {
+        const auto &t = tokens(rel).tokens;
+        for (size_t i = 0; i < t.size(); ++i) {
+            if (t[i].kind != TokKind::Identifier)
+                continue;
+            bool unordered = kUnorderedTypes.count(t[i].text) > 0;
+            bool ptrKeyed = false;
+            if (!unordered &&
+                (t[i].text == "map" || t[i].text == "multimap")) {
+                // Pointer-keyed ordered map: `map<T *, ...>`.
+                if (i + 1 < t.size() && t[i + 1].text == "<") {
+                    int depth = 0;
+                    for (size_t j = i + 1; j < t.size(); ++j) {
+                        if (t[j].kind != TokKind::Punct)
+                            continue;
+                        if (t[j].text == "<") {
+                            ++depth;
+                        } else if (t[j].text == ">") {
+                            if (--depth == 0)
+                                break;
+                        } else if (t[j].text == "," && depth == 1) {
+                            break;
+                        } else if (t[j].text == "*" && depth == 1) {
+                            ptrKeyed = true;
+                        } else if (t[j].text == ";") {
+                            break;
+                        }
+                    }
+                }
+            }
+            if (!unordered && !ptrKeyed)
+                continue;
+            if (i + 1 >= t.size() || t[i + 1].text != "<")
+                continue;
+            size_t j = skipAngles(t, i + 1);
+            while (j < t.size() &&
+                   ((t[j].kind == TokKind::Punct &&
+                     (t[j].text == "&" || t[j].text == "*")) ||
+                    (t[j].kind == TokKind::Identifier &&
+                     t[j].text == "const"))) {
+                ++j;
+            }
+            if (j >= t.size() || t[j].kind != TokKind::Identifier)
+                continue;
+            const std::string &name = t[j].text;
+            unorderedNames.insert(name);
+            why.emplace(name, unordered
+                                  ? "unordered container"
+                                  : "pointer-keyed map (iteration "
+                                    "order tracks allocation)");
+        }
+    }
+    if (unorderedNames.empty())
+        return;
+
+    // Pass B: a function that both iterates one of those names and
+    // reaches a determinism sink (stats recording / observer hook
+    // call) is tainted.
+    for (const auto &rel : files) {
+        const SourceFile &src = tokens(rel);
+        const ScopeTree &tree = scopes(rel);
+        const auto &t = src.tokens;
+
+        struct IterEvent
+        {
+            int func;
+            int line;
+            std::string name;
+        };
+        std::vector<IterEvent> iters;
+        std::set<int> sinkFuncs;
+
+        for (size_t i = 0; i < t.size(); ++i) {
+            if (t[i].kind != TokKind::Identifier)
+                continue;
+            const int func = tree.enclosingFunc(tree.scopeOf[i]);
+            if (func == -1)
+                continue;
+
+            // Sink: member call of a det-sink name.
+            if (cfg_.detSinks.count(t[i].text) && i > 0 &&
+                t[i - 1].kind == TokKind::Punct &&
+                (t[i - 1].text == "." || t[i - 1].text == "->")) {
+                sinkFuncs.insert(func);
+                continue;
+            }
+
+            // Iteration: range-for whose range expression mentions an
+            // unordered name...
+            if (t[i].text == "for" && i + 1 < t.size() &&
+                t[i + 1].text == "(") {
+                int depth = 0;
+                size_t colon = 0, close = 0;
+                for (size_t j = i + 1; j < t.size(); ++j) {
+                    if (t[j].kind != TokKind::Punct)
+                        continue;
+                    if (t[j].text == "(") {
+                        ++depth;
+                    } else if (t[j].text == ")") {
+                        if (--depth == 0) {
+                            close = j;
+                            break;
+                        }
+                    } else if (t[j].text == ":" && depth == 1 &&
+                               !colon) {
+                        colon = j;
+                    }
+                }
+                if (colon && close) {
+                    for (size_t j = colon + 1; j < close; ++j) {
+                        if (t[j].kind == TokKind::Identifier &&
+                            unorderedNames.count(t[j].text)) {
+                            iters.push_back(
+                                {func, t[j].line, t[j].text});
+                            break;
+                        }
+                    }
+                }
+                continue;
+            }
+
+            // ... or explicit iterator walks: name.begin()/cbegin().
+            if ((t[i].text == "begin" || t[i].text == "cbegin") &&
+                i >= 2 && t[i - 1].kind == TokKind::Punct &&
+                (t[i - 1].text == "." || t[i - 1].text == "->") &&
+                t[i - 2].kind == TokKind::Identifier &&
+                unorderedNames.count(t[i - 2].text)) {
+                iters.push_back({func, t[i].line, t[i - 2].text});
+            }
+        }
+
+        for (const auto &ev : iters) {
+            if (!sinkFuncs.count(ev.func))
+                continue;
+            auto w = why.find(ev.name);
+            emit(src, ev.line, "R9", "determinism-taint",
+                 "iteration over " +
+                     (w == why.end() ? std::string("unordered container")
+                                     : w->second) +
+                     " '" + ev.name +
+                     "' in a function that records stats or fires "
+                     "observer hooks; use an ordered container or "
+                     "sort before iterating");
+        }
+    }
+}
+
 std::vector<Finding>
 Linter::run()
 {
@@ -900,6 +1858,10 @@ Linter::run()
     checkStats();
     checkConfigParity();
     checkHygiene();
+    checkGlobals();
+    checkOwnership();
+    checkLocks();
+    checkDeterminism();
     std::sort(findings_.begin(), findings_.end());
     findings_.erase(std::unique(findings_.begin(), findings_.end(),
                                 [](const Finding &a, const Finding &b) {
@@ -913,9 +1875,9 @@ Linter::run()
 
 std::vector<Finding>
 runLint(const std::string &root, const RulesConfig &cfg,
-        const std::set<std::string> &only)
+        const std::set<std::string> &only, bool keepAllowed)
 {
-    return Linter(root, cfg, only).run();
+    return Linter(root, cfg, only, keepAllowed).run();
 }
 
 } // namespace mtlblint

@@ -2,7 +2,7 @@
  * @file
  * mtlb-lint rule engine.
  *
- * Five repo-specific semantic rules over the simulator sources:
+ * Nine repo-specific semantic rules over the simulator sources:
  *
  *  R1 epoch-discipline      every kernel function that mutates
  *                           translation state below the TLB must call
@@ -19,14 +19,35 @@
  *  R5 hygiene               banned constructs (naked new,
  *                           nondeterminism sources) and include-guard
  *                           conformance.
+ *  R6 no-mutable-global-state
+ *                           every mutable static / namespace-scope
+ *                           variable is inventoried against a
+ *                           committed baseline that may only shrink;
+ *                           constexpr and const-POD are exempt.
+ *  R7 ownership-escape      raw pointer/reference members of
+ *                           System-owned component types may only be
+ *                           stored in classes transitively owned by a
+ *                           System.
+ *  R8 lock-discipline       accesses to configured guarded members
+ *                           must hold their mutex, and simulator-core
+ *                           directories must be lock-free (hot-path
+ *                           purity).
+ *  R9 determinism-taint     no iteration over unordered containers or
+ *                           pointer-keyed maps in a function that also
+ *                           records stats or fires observer hooks.
  *
- * The rule inputs (mutator list, hook pairs, banned identifiers, file
- * locations) live in tools/lint/rules.cfg so the contract is an
- * explicit, reviewable artifact rather than hard-coded heuristics.
+ * The rule inputs (mutator list, hook pairs, banned identifiers,
+ * owned types, guarded members, file locations) live in
+ * tools/lint/rules.cfg so the contract is an explicit, reviewable
+ * artifact rather than hard-coded heuristics.
  *
  * Findings honour `// mtlb-lint: allow(<rule>)` suppression comments
  * on the same line or the line above; <rule> is either the short id
- * ("R1") or the long name ("epoch-discipline").
+ * ("R1") or the long name ("epoch-discipline"). R6 additionally
+ * requires every allowed entry to appear in the committed baseline
+ * file (the ratchet): an annotation alone is not enough to grow the
+ * global-state inventory, and stale baseline entries are themselves
+ * findings so the baseline can only shrink.
  */
 
 #ifndef MTLBSIM_TOOLS_LINT_LINT_HH
@@ -78,6 +99,44 @@ struct RulesConfig
     std::string guardPrefix = "MTLBSIM_";
     std::vector<std::string> guardStrip;
 
+    // R6
+    /** Directories inventoried for mutable global state. */
+    std::vector<std::string> globalDirs;
+    /** Committed ratchet baseline (`<file> <symbol>` per line). */
+    std::string r6Baseline;
+    /** Type identifiers that disqualify a `const` global from the
+     *  POD exemption (dynamic initialisation / non-trivial dtor). */
+    std::set<std::string> nonPodTypes;
+
+    // R7
+    /** Component types whose raw pointer/reference members are
+     *  audited. */
+    std::set<std::string> ownedTypes;
+    /** Classes transitively owned by a System, where borrowing such
+     *  references is the wiring the System constructor set up. */
+    std::set<std::string> ownerClasses;
+
+    // R8
+    /** Simulator-core directories that must not use any locking or
+     *  atomics at all. */
+    std::vector<std::string> lockFreeDirs;
+    /** Identifiers whose appearance in a lock-free dir is a finding. */
+    std::set<std::string> lockIdents;
+    /** A member in @p file whose every access must happen under a
+     *  lock_guard/unique_lock/scoped_lock naming @p mutex. */
+    struct GuardedMember
+    {
+        std::string file;
+        std::string member;
+        std::string mutex;
+    };
+    std::vector<GuardedMember> guardedMembers;
+
+    // R9
+    /** Member calls that mark a function as reaching stats recording
+     *  or observer hooks (`sample`, the KernelObserver hooks, ...). */
+    std::set<std::string> detSinks;
+
     /** Parse a rules.cfg. Throws std::runtime_error on IO/syntax
      *  errors. */
     static RulesConfig load(const std::string &path);
@@ -87,9 +146,14 @@ struct Finding
 {
     std::string file;   ///< repo-relative path
     int line = 0;
-    std::string id;     ///< "R1".."R5"
+    std::string id;     ///< "R1".."R9"
     std::string name;   ///< long rule name
     std::string message;
+    /** True when an `allow` annotation (plus, for R6, a baseline
+     *  entry) suppresses the finding. Allowed findings are only
+     *  reported when runLint() is asked to keep them; they never
+     *  affect the exit status. */
+    bool allowed = false;
 
     bool operator<(const Finding &o) const
     {
@@ -106,17 +170,28 @@ struct Finding
 /** Format a finding as `file:line: [id name] message`. */
 std::string format(const Finding &f);
 
+/** Format a finding as a GitHub Actions workflow annotation. */
+std::string formatGithub(const Finding &f);
+
+/** Format findings as a JSON document:
+ *  {"findings": [{file,line,rule,name,message,allowed}...],
+ *   "count": <number of non-allowed findings>}. */
+std::string formatJson(const std::vector<Finding> &findings);
+
 /**
  * Run all (or a subset of) rules over the tree rooted at @p root.
  *
  * @param root  repo root; all RulesConfig paths resolve against it.
  * @param cfg   parsed rules.cfg.
  * @param only  if non-empty, run only rules whose id is in the set.
- * @return sorted findings (suppressions already applied).
+ * @param keepAllowed  when true, suppressed findings are returned
+ *                     too, marked allowed (for --json reporting).
+ * @return sorted findings (suppressions applied / marked).
  */
 std::vector<Finding> runLint(const std::string &root,
                              const RulesConfig &cfg,
-                             const std::set<std::string> &only = {});
+                             const std::set<std::string> &only = {},
+                             bool keepAllowed = false);
 
 } // namespace mtlblint
 

@@ -4,7 +4,9 @@
  * sources. See tools/lint/lint.hh for the rule catalogue and
  * docs/manual.md §11 for usage.
  *
- * Exit codes: 0 clean, 1 findings, 2 usage or IO error.
+ * Exit codes: 0 clean, 1 findings, 2 usage or IO error. Allowed
+ * (annotated) findings never affect the exit code; they are only
+ * reported in --json output.
  */
 
 #include <cstring>
@@ -22,12 +24,20 @@ void
 usage(std::ostream &os)
 {
     os << "usage: mtlb-lint [--root DIR] [--rules FILE] [--only R1,R2,...]"
-          " [--quiet]\n"
-          "  --root DIR    repo root to lint (default: current directory)\n"
-          "  --rules FILE  rules file (default: <root>/tools/lint/"
+          " [--format text|json|github] [--quiet]\n"
+          "  --root DIR     repo root to lint (default: current "
+          "directory)\n"
+          "  --rules FILE   rules file (default: <root>/tools/lint/"
           "rules.cfg)\n"
-          "  --only LIST   comma-separated rule ids to run (default: all)\n"
-          "  --quiet       suppress the summary line on success\n";
+          "  --only LIST    comma-separated rule ids to run (default: "
+          "all)\n"
+          "  --format KIND  output format: text (default), json "
+          "(machine\n"
+          "                 readable, includes allowed findings), or "
+          "github\n"
+          "                 (workflow error annotations)\n"
+          "  --json         shorthand for --format json\n"
+          "  --quiet        suppress the summary line on success\n";
 }
 
 } // namespace
@@ -37,6 +47,7 @@ main(int argc, char **argv)
 {
     std::string root = ".";
     std::string rules;
+    std::string fmt = "text";
     std::set<std::string> only;
     bool quiet = false;
 
@@ -58,6 +69,15 @@ main(int argc, char **argv)
             std::string id;
             while (std::getline(iss, id, ','))
                 only.insert(id);
+        } else if (arg == "--format") {
+            fmt = value();
+            if (fmt != "text" && fmt != "json" && fmt != "github") {
+                std::cerr << "mtlb-lint: unknown format '" << fmt
+                          << "'\n";
+                return 2;
+            }
+        } else if (arg == "--json") {
+            fmt = "json";
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -74,15 +94,30 @@ main(int argc, char **argv)
 
     try {
         auto cfg = mtlblint::RulesConfig::load(rules);
-        auto findings = mtlblint::runLint(root, cfg, only);
-        for (const auto &f : findings)
-            std::cout << mtlblint::format(f) << "\n";
-        if (!findings.empty()) {
-            std::cerr << "mtlb-lint: " << findings.size()
-                      << " finding(s)\n";
+        // JSON output reports allowed findings too (allow-status is
+        // part of the machine-readable record).
+        auto findings =
+            mtlblint::runLint(root, cfg, only, fmt == "json");
+        size_t live = 0;
+        for (const auto &f : findings) {
+            if (!f.allowed)
+                ++live;
+        }
+        if (fmt == "json") {
+            std::cout << mtlblint::formatJson(findings);
+        } else {
+            for (const auto &f : findings) {
+                std::cout << (fmt == "github"
+                                  ? mtlblint::formatGithub(f)
+                                  : mtlblint::format(f))
+                          << "\n";
+            }
+        }
+        if (live) {
+            std::cerr << "mtlb-lint: " << live << " finding(s)\n";
             return 1;
         }
-        if (!quiet)
+        if (!quiet && fmt != "json")
             std::cerr << "mtlb-lint: clean\n";
         return 0;
     } catch (const std::exception &e) {
