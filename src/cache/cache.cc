@@ -27,13 +27,6 @@ Cache::Cache(const CacheConfig &config, MemBackend &backend,
     parent.addChild(&statGroup_);
 }
 
-unsigned
-Cache::indexOf(Addr vaddr, Addr paddr) const
-{
-    const Addr key = config_.virtuallyIndexed ? vaddr : paddr;
-    return static_cast<unsigned>(key >> cacheLineShift) & indexMask_;
-}
-
 CacheAccessResult
 Cache::access(Addr vaddr, Addr paddr, bool write, Cycles now)
 {

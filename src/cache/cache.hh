@@ -97,6 +97,44 @@ class Cache
                              Cycles now);
 
     /**
+     * @name Batched-access fast path (src/cpu batch engine)
+     *
+     * A batched access replays the hit path of access() without the
+     * per-access statistics: batchHit() applies the architectural
+     * side effect (the dirty bit on a store — kernel swap paths read
+     * it directly, so it can never be deferred) and the caller
+     * accumulates the access/hit counts, replaying them later in one
+     * noteBatchedHits() call. The pair is byte-identical to n calls
+     * of access() that hit: a hit touches no other cache state, and
+     * Scalar::addCount is exact (see stats.hh). Defined inline —
+     * this is the innermost loop of the whole simulator.
+     */
+    /** @{ */
+
+    /** If (vaddr, paddr) hits, apply the hit's side effects minus
+     *  the stat counts and return true; on a miss do nothing (the
+     *  caller falls back to access()). */
+    bool
+    batchHit(Addr vaddr, Addr paddr, bool write)
+    {
+        Line &line = lines_[indexOf(vaddr, paddr)];
+        if (!line.valid || line.tag != lineBase(paddr))
+            return false;
+        if (write)
+            line.dirty = true;
+        return true;
+    }
+
+    /** Account @p n deferred batched hits (n accesses, n hits). */
+    void
+    noteBatchedHits(std::uint64_t n)
+    {
+        accesses_.addCount(n);
+        hits_.addCount(n);
+    }
+    /** @} */
+
+    /**
      * Flush (write back + invalidate) every line of the 4 KB page at
      * virtual address @p vaddr whose tag matches physical page
      * @p paddr. Used by remap() when converting a region between real
@@ -157,8 +195,14 @@ class Cache
     };
 
     /** Set index: from the virtual address in VIPT mode, from the
-     *  physical/shadow address otherwise. */
-    unsigned indexOf(Addr vaddr, Addr paddr) const;
+     *  physical/shadow address otherwise. Inline: it sits on the
+     *  batchHit() hot path. */
+    unsigned
+    indexOf(Addr vaddr, Addr paddr) const
+    {
+        const Addr key = config_.virtuallyIndexed ? vaddr : paddr;
+        return static_cast<unsigned>(key >> cacheLineShift) & indexMask_;
+    }
 
     /** @name Per-page resident-line accounting
      *

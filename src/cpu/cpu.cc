@@ -9,6 +9,8 @@ Cpu::Cpu(const CpuConfig &config, Tlb &tlb, MicroItlb &uitlb,
     : config_(config), tlb_(tlb), uitlb_(uitlb), cache_(cache),
       memsys_(memsys), kernel_(kernel),
       l0_(config.l0Entries),
+      batchWindow_(config.batchEnable ? config.batchWindow : 0),
+      cacheHitCycles_(cache.config().hitCycles),
       statGroup_("cpu"),
       instructions_(statGroup_.addScalar("instructions",
                                          "instructions retired")),
@@ -26,7 +28,7 @@ Cpu::Cpu(const CpuConfig &config, Tlb &tlb, MicroItlb &uitlb,
     parent.addChild(&statGroup_);
 }
 
-Addr
+Cpu::Translation
 Cpu::translate(Addr vaddr, AccessType type)
 {
     // L0 fast path: a live entry is a translation the full lookup
@@ -40,7 +42,8 @@ Cpu::translate(Addr vaddr, AccessType type)
             if ((type != AccessType::Write || e->prot.writable) &&
                 e->prot.userAccessible) {
                 tlb_.noteL0Hit();
-                return e->pframeBase | pageOffset(vaddr);
+                return {e->pframeBase | pageOffset(vaddr),
+                        e->prot.writable};
             }
         }
     }
@@ -55,16 +58,22 @@ Cpu::translate(Addr vaddr, AccessType type)
     }
     fatalIf(result.protFault,
             "protection fault at 0x", std::hex, vaddr);
-    if (l0_.enabled() && result.slot >= 0) {
-        l0_.fill(vaddr, tlb_.entryAt(static_cast<unsigned>(result.slot)),
-                 static_cast<unsigned>(result.slot),
-                 tlb_.translationEpoch());
+    bool writable = false;
+    if (result.slot >= 0) {
+        const TlbEntry &entry =
+            tlb_.entryAt(static_cast<unsigned>(result.slot));
+        writable = entry.prot.writable;
+        if (l0_.enabled()) {
+            l0_.fill(vaddr, entry,
+                     static_cast<unsigned>(result.slot),
+                     tlb_.translationEpoch());
+        }
     }
-    return result.paddr;
+    return {result.paddr, writable};
 }
 
 void
-Cpu::executeAt(Counter n, Addr code_vaddr)
+Cpu::executeAtSlow(Counter n, Addr code_vaddr)
 {
     maybeRunCheck();
     ++ifetchChecks_;
@@ -83,6 +92,11 @@ Cpu::executeAt(Counter n, Addr code_vaddr)
 void
 Cpu::dataAccess(Addr vaddr, AccessType type)
 {
+    // Deferred counts may stay pending across this access: bulk adds
+    // and the direct increments below are exact integer sums, so
+    // their interleaving is irrelevant to every final value, and no
+    // stats reader runs without flushing first (flush points:
+    // flushBatch() callers).
     maybeRunCheck();
     const bool is_store = type == AccessType::Write;
     if (is_store)
@@ -90,7 +104,8 @@ Cpu::dataAccess(Addr vaddr, AccessType type)
     else
         ++loads_;
 
-    const Addr paddr = translate(vaddr, type);
+    const Translation tr = translate(vaddr, type);
+    const Addr paddr = tr.paddr;
 
     CacheAccessResult r = cache_.access(vaddr, paddr, is_store, now_);
 
@@ -105,6 +120,11 @@ Cpu::dataAccess(Addr vaddr, AccessType type)
         r = cache_.access(vaddr, paddr, is_store, now_);
         panicIf(memsys_.faulted(), "shadow fault persists after reload");
     }
+
+    // Every exit below leaves (vaddr, paddr)'s line resident, so the
+    // page is fast-path hot: arm the batch engine on it.
+    if (batchWindow_ != 0)
+        establishBatch(vaddr, paddr, tr.writable);
 
     if (r.hit) {
         now_ += r.latency;

@@ -50,6 +50,17 @@ struct CpuConfig
      *  A host-speed knob only: simulated behaviour and statistics
      *  are bit-identical for every value (see l0_cache.hh). */
     unsigned l0Entries = 512;
+    /** Batched same-page access engine: replay runs of consecutive
+     *  accesses that hit the same (vpage, resident-cache-line)
+     *  fast-path state without re-entering the TLB/cache/bus models
+     *  per access (docs/manual.md §9). Like the L0, a host-speed
+     *  knob only: simulated behaviour and statistics are
+     *  byte-identical with it on or off. */
+    bool batchEnable = true;
+    /** Accesses accumulated per bulk statistics replay; bounds how
+     *  far the deferred counters may lag their per-access values
+     *  between flush points. 0 disables batching outright. */
+    unsigned batchWindow = 4096;
 };
 
 /**
@@ -75,26 +86,60 @@ class Cpu
      * @p code_vaddr, modelling unified-TLB pressure from the
      * instruction stream: the fetch consults the micro-ITLB and, on
      * a micro-ITLB miss, the unified TLB (trapping on a miss there).
+     *
+     * The batch engine fast-paths the overwhelmingly common case —
+     * micro-ITLB hit, no periodic check due — exactly as it does
+     * data accesses: time advances eagerly, and the three
+     * bookkeeping increments a hit performs (ifetch_checks, the
+     * micro-ITLB hit count, instructions) are deferred and
+     * bulk-added at the next flush point.
      */
-    void executeAt(Counter n, Addr code_vaddr);
+    void
+    executeAt(Counter n, Addr code_vaddr)
+    {
+        if (batchWindow_ != 0 && uitlb_.covers(code_vaddr) &&
+            !(checkInterval_ != 0 && now_ >= nextCheckAt_)) {
+            ++batch_.pendingIfetch;
+            batch_.pendingInstructions += n;
+            now_ += n;
+            if (++batch_.count >= batchWindow_) {
+                flushBatch();
+                batch_.count = 0;
+            }
+            return;
+        }
+        executeAtSlow(n, code_vaddr);
+    }
 
     /** Perform a data load at @p vaddr. */
-    void load(Addr vaddr) { dataAccess(vaddr, AccessType::Read); }
+    void
+    load(Addr vaddr)
+    {
+        if (!tryBatchedAccess(vaddr, false))
+            dataAccess(vaddr, AccessType::Read);
+    }
 
     /** Perform a data store at @p vaddr. */
-    void store(Addr vaddr) { dataAccess(vaddr, AccessType::Write); }
+    void
+    store(Addr vaddr)
+    {
+        if (!tryBatchedAccess(vaddr, true))
+            dataAccess(vaddr, AccessType::Write);
+    }
 
     /** @name Kernel service wrappers (advance the CPU clock) */
     /** @{ */
     void
     remap(Addr vbase, Addr bytes)
     {
+        flushBatch();
         now_ += kernel_.remap(vbase, bytes, now_);
     }
 
     Addr
     sbrk(Addr bytes)
     {
+        flushBatch();
         SbrkResult r = kernel_.sbrk(bytes, now_);
         now_ += r.cycles;
         return r.oldBreak;
@@ -103,9 +148,45 @@ class Cpu
     void
     recolorPage(Addr vaddr, unsigned color)
     {
+        flushBatch();
         now_ += kernel_.recolorPage(vaddr, color, now_);
     }
     /** @} */
+
+    /**
+     * Realize the batch engine's deferred statistic counts — CPU
+     * loads/stores, TLB hits, cache accesses/hits — as exact bulk
+     * adds (Scalar::addCount). Must run before any external read of
+     * those statistics: System::dumpStats()/audit(), the metric
+     * collectors, and the fuzzer's final-stats capture all call it.
+     * It only moves already-earned counts, so calling it at any
+     * point is safe and changes no statistic's final value.
+     */
+    void
+    flushBatch() const
+    {
+        if ((batch_.pendingLoads | batch_.pendingStores |
+             batch_.pendingIfetch) == 0) {
+            return;
+        }
+        const std::uint64_t n =
+            batch_.pendingLoads + batch_.pendingStores;
+        if (n != 0) {
+            loads_.addCount(batch_.pendingLoads);
+            stores_.addCount(batch_.pendingStores);
+            tlb_.noteBatchedHits(n);
+            cache_.noteBatchedHits(n);
+            batch_.pendingLoads = 0;
+            batch_.pendingStores = 0;
+        }
+        if (batch_.pendingIfetch != 0) {
+            ifetchChecks_.addCount(batch_.pendingIfetch);
+            uitlb_.noteBatchedHits(batch_.pendingIfetch);
+            instructions_.addCount(batch_.pendingInstructions);
+            batch_.pendingIfetch = 0;
+            batch_.pendingInstructions = 0;
+        }
+    }
 
     /**
      * Arrange for @p hook to run once per @p interval simulated
@@ -131,18 +212,133 @@ class Cpu
     Counter
     instructions() const
     {
+        flushBatch();
         return static_cast<Counter>(instructions_.value());
     }
 
     std::uint64_t
     dataAccesses() const
     {
+        flushBatch();
         return static_cast<std::uint64_t>(loads_.value() +
                                           stores_.value());
     }
 
   private:
+    /** A translation plus the protection bit the batch engine needs
+     *  to accept stores without re-consulting the TLB. */
+    struct Translation
+    {
+        Addr paddr = 0;
+        bool writable = false;
+    };
+
+    /** One memoized page the batch engine may replay on: the
+     *  (vpage, epoch) pair a batched access is conditioned on. */
+    struct BatchAnchor
+    {
+        /** Virtual page this anchor covers; the all-ones sentinel
+         *  never matches a real vpage, so no anchor is live
+         *  initially. */
+        Addr vpage = ~Addr{0};
+        Addr pframeBase = 0;        ///< physical/shadow frame base
+        /** Translation epoch the anchor was established under; any
+         *  mutation of translation state bumps the TLB's epoch and
+         *  kills every anchor (same interlock as the L0,
+         *  l0_cache.hh). */
+        std::uint64_t epoch = 0;
+        bool writable = false;      ///< page accepts batched stores
+    };
+
+    /** Anchors kept live at once (direct-mapped by vpage, power of
+     *  two). Hot sets alternate between pages far more often than
+     *  they stream within one, so a single anchor would be displaced
+     *  on every page change even though each page's state is still
+     *  perfectly memoizable. Sized at 32 KB of host memory: twice
+     *  the default L0 so anchor conflicts don't cap the batched
+     *  fraction below the L0 hit rate. */
+    static constexpr unsigned batchAnchorCount = 1024;
+
+    /**
+     * Memoized fast-path state of the batch engine: the anchor
+     * array plus the deferred statistic counts accumulated across
+     * all anchors (the five deferred counters are per-access, not
+     * per-page, so one set of pending counts serves every anchor).
+     * Host-side only — never part of the simulated machine state.
+     * Mutable so flushBatch() can realize counts from const readers.
+     */
+    struct BatchState
+    {
+        BatchAnchor anchors[batchAnchorCount];
+        unsigned count = 0;         ///< accesses since last flush
+        std::uint64_t pendingLoads = 0;
+        std::uint64_t pendingStores = 0;
+        std::uint64_t pendingIfetch = 0;        ///< batched fetches
+        std::uint64_t pendingInstructions = 0;  ///< their retires
+    };
+
+    /**
+     * The batch engine's inline hot path. Accepts the access iff it
+     * is provably equivalent to the full dataAccess() path on a
+     * cache hit: same vpage as the live run, epoch unchanged, store
+     * permission already proven, no periodic check due, and the
+     * cache line resident. Everything else — page crossing, epoch
+     * bump, would-be protection fault, line fill, check boundary —
+     * falls back to the slow path, which re-establishes the run.
+     *
+     * Replay is split eager/deferred: simulated time and the line's
+     * dirty bit advance immediately (kernel paths read both without
+     * CPU involvement), while the five statistic increments a hit
+     * performs are accumulated and bulk-added at the next flush
+     * point (see DESIGN.md §7).
+     */
+    bool
+    tryBatchedAccess(Addr vaddr, bool is_store)
+    {
+        const Addr vpage = vaddr >> basePageShift;
+        const BatchAnchor &a =
+            batch_.anchors[vpage & (batchAnchorCount - 1)];
+        if (a.vpage != vpage ||
+            a.epoch != tlb_.translationEpoch() ||
+            (is_store && !a.writable) ||
+            (checkInterval_ != 0 && now_ >= nextCheckAt_)) {
+            return false;
+        }
+        const Addr paddr = a.pframeBase | pageOffset(vaddr);
+        if (!cache_.batchHit(vaddr, paddr, is_store))
+            return false;
+        if (is_store)
+            ++batch_.pendingStores;
+        else
+            ++batch_.pendingLoads;
+        now_ += cacheHitCycles_;
+        if (++batch_.count >= batchWindow_) {
+            flushBatch();
+            batch_.count = 0;
+        }
+        return true;
+    }
+
+    /** Arm the batch engine on the page a completed access proved
+     *  hot. Caller guarantees the access succeeded (so the page is
+     *  user-accessible) and batching is enabled. */
+    void
+    establishBatch(Addr vaddr, Addr paddr, bool writable)
+    {
+        const Addr vpage = vaddr >> basePageShift;
+        BatchAnchor &a =
+            batch_.anchors[vpage & (batchAnchorCount - 1)];
+        a.vpage = vpage;
+        a.pframeBase = pageBase(paddr);
+        a.epoch = tlb_.translationEpoch();
+        a.writable = writable;
+    }
+
     void dataAccess(Addr vaddr, AccessType type);
+
+    /** executeAt()'s full path: periodic check, micro-ITLB, unified
+     *  TLB, per-access statistics. */
+    void executeAtSlow(Counter n, Addr code_vaddr);
 
     /** Fire the periodic check hook when its interval has elapsed.
      *  Called on access boundaries, where state is consistent. */
@@ -153,12 +349,14 @@ class Cpu
             return;
         while (nextCheckAt_ <= now_)
             nextCheckAt_ += checkInterval_;
+        flushBatch();   // the hook may read or dump statistics
         checkHook_(now_);
     }
 
     /** Translate @p vaddr, trapping to the kernel on a TLB miss.
-     *  Returns the (possibly shadow) physical address. */
-    Addr translate(Addr vaddr, AccessType type);
+     *  Returns the (possibly shadow) physical address plus the
+     *  page's write permission. */
+    Translation translate(Addr vaddr, AccessType type);
 
     CpuConfig config_;
     Tlb &tlb_;
@@ -168,6 +366,13 @@ class Cpu
     Kernel &kernel_;
 
     L0TranslationCache l0_;
+
+    /** Effective batch window: config batchWindow, or 0 when
+     *  batchEnable is off (one compare disables the whole engine —
+     *  a disabled batch never establishes, so vpage never matches). */
+    unsigned batchWindow_;
+    Cycles cacheHitCycles_;     ///< memoized cache.config().hitCycles
+    mutable BatchState batch_;
 
     Cycles now_ = 0;
     Cycles storeBufferBusyUntil_ = 0;

@@ -33,6 +33,8 @@ makeSystemConfig(const FuzzParams &p)
     cfg.installedBytes = p.installedBytes;
     cfg.cache.sizeBytes = p.cacheBytes;
     cfg.cpu.l0Entries = p.l0Entries;
+    cfg.cpu.batchEnable = p.batchWindow != 0;
+    cfg.cpu.batchWindow = p.batchWindow;
     cfg.kernel.allShadowMode = p.allShadowMode;
     cfg.kernel.onlinePromotion = p.onlinePromotion;
     // A tiny threshold so promotion actually triggers within a few
@@ -124,6 +126,9 @@ DifferentialFuzzer::run(const std::vector<FuzzOp> &ops)
             applyOp(ops[i], i);
             if (!failure_ &&
                 ((i + 1) % every == 0 || i + 1 == ops.size())) {
+                // Checks read statistics: realize deferred batch
+                // counts so every sweep sees final values.
+                sys_->cpu().flushBatch();
                 runPeriodicChecks(i);
             }
         } catch (const FatalError &e) {
@@ -138,6 +143,7 @@ DifferentialFuzzer::run(const std::vector<FuzzOp> &ops)
         result.failed = true;
         result.failure = *failure_;
     }
+    sys_->cpu().flushBatch();
     result.finalStats = sys_->rootStats().toJson();
     return result;
 }

@@ -165,6 +165,7 @@ paramsToJson(const FuzzParams &params)
     v.set("mtlb_entries", json::Value(params.mtlbEntries));
     v.set("mtlb_assoc", json::Value(params.mtlbAssoc));
     v.set("l0_entries", json::Value(params.l0Entries));
+    v.set("batch_window", json::Value(params.batchWindow));
     v.set("installed_bytes", json::Value(params.installedBytes));
     v.set("cache_bytes", json::Value(params.cacheBytes));
     v.set("shadow_bytes", json::Value(params.shadowBytes));
@@ -191,6 +192,8 @@ paramsFromJson(const json::Value &v)
     // the historical default.
     if (v.find("shadow_bytes") != nullptr)
         p.shadowBytes = u64Member(v, "shadow_bytes");
+    if (v.find("batch_window") != nullptr)
+        p.batchWindow = static_cast<unsigned>(u64Member(v, "batch_window"));
     p.allShadowMode = boolMember(v, "all_shadow");
     p.onlinePromotion = boolMember(v, "online_promotion");
     p.frameSeed = u64Member(v, "frame_seed");

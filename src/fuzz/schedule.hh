@@ -93,6 +93,12 @@ struct FuzzParams
     unsigned mtlbEntries = 8;
     unsigned mtlbAssoc = 2;
     unsigned l0Entries = 512;
+    /** Batch-engine window (cpu.batch_window); 0 runs unbatched.
+     *  Off by default so pre-existing traces replay on the exact
+     *  machine shape they recorded; the equivalence contract makes
+     *  their final stats identical either way, but the recorded
+     *  params stay the source of truth. */
+    unsigned batchWindow = 0;
     Addr installedBytes = Addr{16} * 1024 * 1024;
     Addr cacheBytes = Addr{16} * 1024;
     /** Shadow region size. The kernel's bucket allocator partitions

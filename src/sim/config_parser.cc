@@ -152,6 +152,15 @@ makeSetters()
              c.cpu.l0Entries =
                  static_cast<unsigned>(parseUnsigned(k, v));
          }},
+        {"cpu.batch_enable",
+         [](SystemConfig &c, const auto &k, const auto &v) {
+             c.cpu.batchEnable = parseBool(k, v);
+         }},
+        {"cpu.batch_window",
+         [](SystemConfig &c, const auto &k, const auto &v) {
+             c.cpu.batchWindow =
+                 static_cast<unsigned>(parseUnsigned(k, v));
+         }},
         {"kernel.superpages",
          [](SystemConfig &c, const auto &k, const auto &v) {
              c.kernel.superpagesEnabled = parseBool(k, v);

@@ -73,12 +73,17 @@ System::~System() = default;
 void
 System::audit()
 {
+    // Deferred batch counts must be realized before the auditor
+    // reads any statistic (and so audits see final values, not the
+    // lag-tolerant intermediate ones).
+    cpu_->flushBatch();
     auditor_->audit(cpu_->now());
 }
 
 void
 System::dumpStats(std::ostream &os) const
 {
+    cpu_->flushBatch();
     rootStats_.print(os);
 }
 

@@ -70,6 +70,26 @@ class Scalar : public StatBase
     Scalar &operator+=(double v) { value_ += v; return *this; }
     Scalar &operator=(double v) { value_ = v; return *this; }
 
+    /**
+     * Add @p n as one bulk increment, byte-identical to applying
+     * operator++ @p n times. Exactness rests on IEEE-754 double
+     * addition being exact for integer operands whose sum stays
+     * below 2^53; counters are integral by construction, and the
+     * guard enforces the magnitude bound so a silent rounding can
+     * never decouple a bulk-replayed counter from its per-event
+     * twin (the batch engine's equivalence contract, DESIGN.md §7).
+     */
+    Scalar &
+    addCount(std::uint64_t n)
+    {
+        const double sum = value_ + static_cast<double>(n);
+        panicIf(sum > 9007199254740992.0, // 2^53
+                "bulk increment of ", name(), " by ", n,
+                " exceeds exact-integer range");
+        value_ = sum;
+        return *this;
+    }
+
     double value() const { return value_; }
 
     void reset() override { value_ = 0; }

@@ -198,6 +198,16 @@ class Tlb
      *  needed to keep statistics bit-identical. */
     void noteL0Hit() { ++hits_; }
 
+    /** Account @p n deferred batched hits in one exact bulk add
+     *  (Scalar::addCount). Sound by the same argument as noteL0Hit:
+     *  while a batch is live the epoch is unchanged, so the owning
+     *  entry's referenced bit is still set and the per-hit
+     *  referenced-bit store the slow path would perform is a no-op —
+     *  and that holds with the L0 disabled too, because a batch is
+     *  only established from a completed access, whose lookup (L0 or
+     *  full) set the bit. */
+    void noteBatchedHits(std::uint64_t n) { hits_.addCount(n); }
+
     /** Snapshot of every valid entry, for the invariant auditor
      *  (src/check). Does not touch NRU state or statistics. */
     std::vector<TlbEntry> auditState() const;
@@ -259,6 +269,26 @@ class MicroItlb
         }
         ++misses_;
         return false;
+    }
+
+    /**
+     * Would hit() succeed? A pure probe with no statistics — the
+     * batch engine's ifetch fast path tests this per fetch and
+     * defers the hit count (noteBatchedHits realizes it), so the
+     * decision stays exactly per-access while the bookkeeping is
+     * bulk-replayed.
+     */
+    bool
+    covers(Addr vaddr) const
+    {
+        return valid_ && entry_.covers(vaddr);
+    }
+
+    /** Account @p n deferred batched fetch hits (see covers()). */
+    void
+    noteBatchedHits(std::uint64_t n)
+    {
+        hits_.addCount(n);
     }
 
     /** Install the translation used by the last fetch. */

@@ -37,6 +37,10 @@ collectMetrics(System &sys, const std::string &workload_name)
 {
     const SystemConfig &config = sys.config();
 
+    // Realize the batch engine's deferred counts before reading any
+    // statistic below (or capturing the stats tree afterwards).
+    sys.cpu().flushBatch();
+
     ExperimentResult r;
     r.workload = workload_name;
     r.tlbEntries = config.tlbEntries;

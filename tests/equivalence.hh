@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared stats-equivalence test harness.
+ *
+ * The simulator's host-speed structures (the L0 translation fast
+ * path, the batched access engine) all make the same claim: the
+ * simulated machine is indistinguishable with them on or off. This
+ * header turns that claim into a reusable check — run the same
+ * driver under two SystemConfigs and require the final cycle count,
+ * the gem5-style text dump, AND the full StatGroup JSON tree to be
+ * byte-identical.
+ *
+ * Used by tests/test_l0_fastpath.cc and tests/test_batch_engine.cc;
+ * bench/simspeed.cc and the lockstep fuzzer enforce the same
+ * contract at scale through their own cycle/final-stats fatals.
+ */
+
+#ifndef MTLBSIM_TESTS_EQUIVALENCE_HH
+#define MTLBSIM_TESTS_EQUIVALENCE_HH
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "sim/system.hh"
+
+namespace mtlbsim::testeq
+{
+
+/** Everything observable a run produces: final simulated time plus
+ *  both serializations of the statistics tree. */
+struct RunOutcome
+{
+    Cycles cycles = 0;
+    std::string statsText;  ///< System::dumpStats
+    std::string statsJson;  ///< StatGroup::toJson, dumped at indent 2
+};
+
+/**
+ * Build a System from @p config, hand it to @p drive, and capture
+ * the outcome. dumpStats() realizes any deferred batch counts, so
+ * the JSON capture that follows sees final values too.
+ */
+template <typename DriveFn>
+RunOutcome
+runConfigured(const SystemConfig &config, DriveFn &&drive)
+{
+    System sys(config);
+    drive(sys);
+
+    RunOutcome out;
+    out.cycles = sys.cpu().now();
+    std::ostringstream os;
+    sys.dumpStats(os);
+    out.statsText = os.str();
+    out.statsJson = sys.rootStats().toJson().dumped(2);
+    return out;
+}
+
+/** Assert two outcomes are byte-identical in every observable. */
+inline void
+expectIdentical(const RunOutcome &a, const RunOutcome &b,
+                const std::string &label = "")
+{
+    EXPECT_EQ(a.cycles, b.cycles) << label;
+    EXPECT_EQ(a.statsText, b.statsText) << label;
+    EXPECT_EQ(a.statsJson, b.statsJson) << label;
+}
+
+/**
+ * The harness's main entry: run the same @p drive under @p reference
+ * and @p candidate and assert full equivalence. The driver must be a
+ * pure function of the System it is handed (deterministic, no
+ * ambient state) or the comparison is meaningless.
+ */
+template <typename DriveFn>
+void
+expectConfigsEquivalent(const SystemConfig &reference,
+                        const SystemConfig &candidate, DriveFn &&drive,
+                        const std::string &label = "")
+{
+    const RunOutcome ref = runConfigured(reference, drive);
+    const RunOutcome cand = runConfigured(candidate, drive);
+    expectIdentical(ref, cand, label);
+}
+
+} // namespace mtlbsim::testeq
+
+#endif // MTLBSIM_TESTS_EQUIVALENCE_HH

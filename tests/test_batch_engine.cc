@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests for the batched same-page access engine (src/cpu/cpu.hh).
+ *
+ * The engine's contract is absolute: a machine with batching on
+ * produces byte-identical statistics and cycle counts to one with it
+ * off, on every workload and config. Each test here drives a
+ * specific batch-breaking event — epoch bump mid-run, TLB purge,
+ * superpage promotion, recoloring, swap-out, L0 eviction, page
+ * crossing, cache-line fill — through the shared equivalence
+ * harness (tests/equivalence.hh), plus unit checks on the deferred
+ * counter flush discipline itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+
+#include "equivalence.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+using namespace mtlbsim;
+
+namespace
+{
+
+constexpr Addr MB = 1024 * 1024;
+constexpr Addr dataBase = 0x10000000;
+
+SystemConfig
+machine(bool batch_on, unsigned window = 4096, unsigned l0 = 512)
+{
+    SystemConfig c;
+    c.installedBytes = 64 * MB;
+    c.cpu.l0Entries = l0;
+    c.cpu.batchEnable = batch_on;
+    c.cpu.batchWindow = window;
+    return c;
+}
+
+/**
+ * The canonical batch-breaking drive: a hot same-page loop long
+ * enough to establish a deep batched run, the event under test fired
+ * in the middle of it, then more same-page traffic so the engine
+ * must recover through the slow path. The event is a function of the
+ * System only, so the drive is identical under every config.
+ */
+void
+hotLoopWithEvent(System &sys,
+                 const std::function<void(System &)> &event)
+{
+    sys.kernel().addressSpace().addRegion("data", dataBase, 4 * MB,
+                                          {});
+    for (int i = 0; i < 2000; ++i) {
+        if (i % 3 == 0)
+            sys.cpu().store(dataBase + (i % 128) * 8);
+        else
+            sys.cpu().load(dataBase + (i % 128) * 8);
+        if (i == 1000)
+            event(sys);
+    }
+}
+
+void
+expectEventEquivalent(const std::function<void(System &)> &event,
+                      const std::string &label)
+{
+    testeq::expectConfigsEquivalent(
+        machine(false), machine(true),
+        [&event](System &sys) { hotLoopWithEvent(sys, event); },
+        label);
+}
+
+} // namespace
+
+TEST(BatchEngine, EpochBumpMidRunBreaksTheBatch)
+{
+    // A bare epoch bump with no other state change: the engine must
+    // drop the run and re-establish, with no statistical trace.
+    expectEventEquivalent(
+        [](System &sys) { sys.tlb().bumpTranslationEpoch(); },
+        "epoch bump mid-run");
+}
+
+TEST(BatchEngine, TlbPurgeMidRunBreaksTheBatch)
+{
+    expectEventEquivalent(
+        [](System &sys) {
+            sys.tlb().purgeRange(dataBase, basePageSize);
+        },
+        "TLB purge mid-run");
+}
+
+TEST(BatchEngine, PromotionMidRunBreaksTheBatch)
+{
+    // remap() promotes the hot region onto a shadow superpage: the
+    // physical (shadow) frame behind the batch's vpage changes.
+    expectEventEquivalent(
+        [](System &sys) { sys.cpu().remap(dataBase, MB); },
+        "superpage promotion mid-run");
+}
+
+TEST(BatchEngine, RecolorMidRunBreaksTheBatch)
+{
+    // Recoloring moves the page to a different frame; physically
+    // indexed cache is recoloring's habitat.
+    auto config_off = machine(false);
+    auto config_on = machine(true);
+    config_off.cache.virtuallyIndexed = false;
+    config_on.cache.virtuallyIndexed = false;
+    testeq::expectConfigsEquivalent(
+        config_off, config_on,
+        [](System &sys) {
+            hotLoopWithEvent(sys, [](System &s) {
+                const unsigned color = s.kernel().colorOf(dataBase);
+                s.cpu().recolorPage(dataBase, (color + 1) % 128);
+            });
+        },
+        "recolor mid-run");
+}
+
+TEST(BatchEngine, SwapOutMidRunBreaksTheBatch)
+{
+    // Promote first so a superpage exists, re-heat the batch, then
+    // swap it out mid-run: the following access takes a shadow page
+    // fault, the heaviest possible slow path.
+    testeq::expectConfigsEquivalent(
+        machine(false), machine(true),
+        [](System &sys) {
+            sys.kernel().addressSpace().addRegion("data", dataBase,
+                                                  4 * MB, {});
+            sys.cpu().remap(dataBase, MB);
+            for (int i = 0; i < 2000; ++i) {
+                sys.cpu().store(dataBase + (i % 64) * 8);
+                if (i == 1000) {
+                    sys.kernel().swapOutSuperpagePagewise(
+                        dataBase, sys.cpu().now());
+                }
+            }
+        },
+        "swap-out mid-run");
+}
+
+TEST(BatchEngine, L0EvictionLeavesIdentity)
+{
+    // A 1-entry L0 thrashes between two pages that alias its only
+    // slot; the batch engine sits in front of the L0 and must stay
+    // equivalent whichever structure the slow path lands in.
+    testeq::expectConfigsEquivalent(
+        machine(false, 4096, 1), machine(true, 4096, 1),
+        [](System &sys) {
+            sys.kernel().addressSpace().addRegion("data", dataBase,
+                                                  4 * MB, {});
+            for (int i = 0; i < 3000; ++i) {
+                const Addr page = (i % 7 < 4) ? 0 : basePageSize;
+                sys.cpu().load(dataBase + page + (i % 32) * 8);
+            }
+        },
+        "1-entry L0 thrash");
+}
+
+TEST(BatchEngine, PageBoundaryWalkBreaksPerPage)
+{
+    // A sequential walk crosses a page boundary every 4 KB; each
+    // crossing must fall back and re-establish on the next page.
+    testeq::expectConfigsEquivalent(
+        machine(false), machine(true),
+        [](System &sys) {
+            sys.kernel().addressSpace().addRegion("data", dataBase,
+                                                  4 * MB, {});
+            for (Addr off = 0; off < 2 * MB; off += 8)
+                sys.cpu().load(dataBase + off);
+        },
+        "sequential page-boundary walk");
+}
+
+TEST(BatchEngine, CacheLineFillMidPageBreaksTheBatch)
+{
+    // Two regions whose lines conflict in the direct-mapped cache
+    // (same index, cache-size apart): ping-ponging between them
+    // forces a line fill mid-page, which must always take the slow
+    // path (fills touch the bus, the MMC, and the miss stats).
+    testeq::expectConfigsEquivalent(
+        machine(false), machine(true),
+        [](System &sys) {
+            const Addr cache_bytes =
+                sys.config().cache.sizeBytes;
+            sys.kernel().addressSpace().addRegion(
+                "a", dataBase, cache_bytes + 4 * MB, {});
+            for (int i = 0; i < 2000; ++i) {
+                const Addr alias =
+                    (i % 5 == 4) ? cache_bytes : 0;
+                sys.cpu().load(dataBase + alias + (i % 16) * 8);
+            }
+        },
+        "conflict-miss ping-pong");
+}
+
+TEST(BatchEngine, ReadOnlyPageLoadsStayEquivalent)
+{
+    // Loads on a read-only page batch (writable=false only blocks
+    // stores); the engine must never let a batched access bypass the
+    // protection model.
+    testeq::expectConfigsEquivalent(
+        machine(false), machine(true),
+        [](System &sys) {
+            sys.kernel().addressSpace().addRegion(
+                "ro", dataBase, MB, PageProtection{false, true});
+            for (int i = 0; i < 2000; ++i)
+                sys.cpu().load(dataBase + (i % 256) * 4);
+        },
+        "read-only page loads");
+}
+
+TEST(BatchEngine, DegenerateWindowsStayEquivalent)
+{
+    // Window 1 flushes every access (maximal flush traffic); a huge
+    // window defers maximally. Both must be invisible.
+    auto drive = [](System &sys) {
+        sys.kernel().addressSpace().addRegion("data", dataBase,
+                                              4 * MB, {});
+        std::uint64_t lcg = 0x9E3779B97F4A7C15ull;
+        auto next = [&lcg]() {
+            lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+            return lcg >> 33;
+        };
+        for (int i = 0; i < 8000; ++i) {
+            // Mostly same-page runs with occasional jumps.
+            const Addr va = (next() % 8 < 7)
+                                ? dataBase + (next() % basePageSize)
+                                : dataBase + (next() % (4 * MB));
+            if (next() % 3 == 0)
+                sys.cpu().store(va);
+            else
+                sys.cpu().load(va);
+            if (i == 4000)
+                sys.cpu().remap(dataBase, MB);
+        }
+    };
+    testeq::expectConfigsEquivalent(machine(false), machine(true, 1),
+                                    drive, "window 1");
+    testeq::expectConfigsEquivalent(machine(false),
+                                    machine(true, 1u << 20), drive,
+                                    "window 2^20");
+}
+
+TEST(BatchEngine, FullStackEquivalentToBareMachine)
+{
+    // The composition claim: L0 + batching together versus neither.
+    testeq::expectConfigsEquivalent(
+        machine(false, 4096, 0), machine(true),
+        [](System &sys) {
+            auto workload = makeWorkload("em3d", 0.02);
+            workload->setup(sys);
+            workload->run(sys);
+        },
+        "em3d, l0+batch vs bare");
+}
+
+TEST(BatchEngine, PeriodicAuditInterlockFiresIdentically)
+{
+    // With periodic auditing armed, the check hook must fire at the
+    // same cycle boundaries whether or not accesses are batched (a
+    // due check forces the slow path), and every audit must be clean
+    // mid-batch. The audit stats land in the tree, so identity also
+    // proves the fire times matched.
+    auto config_off = machine(false);
+    auto config_on = machine(true);
+    config_off.check.enabled = true;
+    config_off.check.interval = 5000;
+    config_on.check.enabled = true;
+    config_on.check.interval = 5000;
+    testeq::expectConfigsEquivalent(
+        config_off, config_on,
+        [](System &sys) {
+            sys.kernel().addressSpace().addRegion("data", dataBase,
+                                                  4 * MB, {});
+            for (int i = 0; i < 20000; ++i)
+                sys.cpu().load(dataBase + (i % 512) * 8);
+            sys.audit();
+        },
+        "periodic audits while batching");
+}
+
+TEST(BatchEngine, DeferredCountsFlushOnRead)
+{
+    // Unit check on the flush discipline: a batched run defers the
+    // five per-access counts, dataAccesses() realizes them, and the
+    // dirty bit is never deferred (kernel swap paths read it).
+    System sys(machine(true));
+    sys.kernel().addressSpace().addRegion("data", dataBase, MB, {});
+
+    sys.cpu().store(dataBase);              // slow: establishes
+    for (int i = 0; i < 99; ++i)
+        sys.cpu().store(dataBase + 8 * (i % 4));   // batched
+
+    // The store's architectural side effect is immediate even while
+    // its stat increment is pending.
+    const auto entry = sys.tlb().probe(dataBase);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_TRUE(sys.cache().probeDirty(dataBase,
+                                       entry->translate(dataBase)));
+
+    // dataAccesses() is a flush point: all 100 stores visible.
+    EXPECT_EQ(sys.cpu().dataAccesses(), 100u);
+
+    // And the flushed tree satisfies the auditor's identities.
+    sys.audit();
+    EXPECT_EQ(sys.cache().accesses(),
+              sys.cache().hits() + sys.cache().misses());
+}
+
+TEST(BatchEngine, DisabledEngineNeverDefers)
+{
+    System sys(machine(false));
+    sys.kernel().addressSpace().addRegion("data", dataBase, MB, {});
+    for (int i = 0; i < 50; ++i)
+        sys.cpu().load(dataBase + 8 * i);
+    // With the engine off nothing is ever pending: a flush point
+    // (dataAccesses) must not move any counter.
+    const double cache_before = sys.cache().accesses();
+    EXPECT_EQ(sys.cpu().dataAccesses(), 50u);
+    EXPECT_EQ(sys.cache().accesses(), cache_before);
+}

@@ -15,6 +15,7 @@
 #include <sstream>
 #include <string>
 
+#include "equivalence.hh"
 #include "sim/system.hh"
 #include "workloads/workload.hh"
 
@@ -41,15 +42,6 @@ const L0Entry *
 liveEntry(System &sys, Addr va)
 {
     return sys.cpu().l0().probe(va, sys.tlb().translationEpoch());
-}
-
-/** Drive the full stats tree into a string for byte comparison. */
-std::string
-statsDump(System &sys)
-{
-    std::ostringstream os;
-    sys.dumpStats(os);
-    return os.str();
 }
 
 } // namespace
@@ -157,19 +149,15 @@ TEST(L0FastPath, DifferentialWorkloadStatsIdentical)
 {
     // The whole simulated machine must be indistinguishable with the
     // fast path on: run the same workload on both configurations and
-    // require byte-identical statistics trees.
-    auto run = [](unsigned l0_entries) {
-        System sys(machine(l0_entries));
-        auto workload = makeWorkload("em3d", 0.02);
-        workload->setup(sys);
-        workload->run(sys);
-        return std::make_pair(sys.cpu().now(), statsDump(sys));
-    };
-
-    const auto [cycles_off, stats_off] = run(0);
-    const auto [cycles_on, stats_on] = run(512);
-    EXPECT_EQ(cycles_off, cycles_on);
-    EXPECT_EQ(stats_off, stats_on);
+    // require byte-identical statistics trees (tests/equivalence.hh).
+    testeq::expectConfigsEquivalent(
+        machine(0), machine(512),
+        [](System &sys) {
+            auto workload = makeWorkload("em3d", 0.02);
+            workload->setup(sys);
+            workload->run(sys);
+        },
+        "em3d, l0 0 vs 512");
 }
 
 TEST(L0FastPath, DifferentialRandomTraceStatsIdentical)
@@ -178,8 +166,7 @@ TEST(L0FastPath, DifferentialRandomTraceStatsIdentical)
     // swap-outs, driven by a deterministic LCG: every translation-
     // mutating path fires while the L0 is hot, and the stats must
     // still match the disabled configuration byte for byte.
-    auto run = [](unsigned l0_entries) {
-        System sys(machine(l0_entries));
+    auto drive = [](System &sys) {
         sys.kernel().addressSpace().addRegion("data", dataBase,
                                               8 * MB, {});
         std::uint64_t lcg = 0x2545F4914F6CDD1Dull;
@@ -201,13 +188,10 @@ TEST(L0FastPath, DifferentialRandomTraceStatsIdentical)
             if (i == 15000)
                 sys.tlb().purgeRange(dataBase + 2 * MB, MB);
         }
-        return std::make_pair(sys.cpu().now(), statsDump(sys));
     };
 
-    const auto [cycles_off, stats_off] = run(0);
-    const auto [cycles_on, stats_on] = run(256);
-    EXPECT_EQ(cycles_off, cycles_on);
-    EXPECT_EQ(stats_off, stats_on);
+    testeq::expectConfigsEquivalent(machine(0), machine(256), drive,
+                                    "random trace, l0 0 vs 256");
 }
 
 TEST(L0FastPath, ColdPageFlushCountersStayExact)

@@ -16,8 +16,8 @@
 # --lint runs ONLY the lint step (the fast pre-commit gate).
 # --model appends the model-checker step to the sequence.
 # --labels L restricts every ctest invocation to tests carrying the
-# given ctest LABEL (unit | property | golden | fuzz | lint | model;
-# comma/regex accepted, passed straight to `ctest -L`).
+# given ctest LABEL (unit | property | golden | fuzz | lint | model |
+# batch; comma/regex accepted, passed straight to `ctest -L`).
 #
 # Unlike a plain `set -e` script, the driver keeps going after a
 # failing step (steps whose build prerequisite failed are skipped),

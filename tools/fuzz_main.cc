@@ -54,6 +54,9 @@ usage()
         "2000)\n"
         "  --audit-every N    ops between oracle sweeps + audits "
         "(default 16)\n"
+        "  --batch            run with the batched access engine on\n"
+        "                     (cpu.batch_window 4096); lockstep and\n"
+        "                     final stats must be unchanged\n"
         "  --self-test        plant every FaultInjector corruption "
         "class and\n"
         "                     require the fuzzer to catch it\n"
@@ -192,6 +195,7 @@ main(int argc, char **argv)
     unsigned runs = 1;
     unsigned ops = 2000;
     unsigned audit_every = 16;
+    bool batch = false;
     bool self_test = false;
     std::string replay_file;
     std::string shrink_file;
@@ -221,6 +225,8 @@ main(int argc, char **argv)
         } else if (token == "--audit-every") {
             audit_every =
                 static_cast<unsigned>(std::atoi(next_arg(i)));
+        } else if (token == "--batch") {
+            batch = true;
         } else if (token == "--self-test") {
             self_test = true;
         } else if (token == "--replay") {
@@ -249,8 +255,11 @@ main(int argc, char **argv)
     unsigned failures = 0;
     for (unsigned r = 0; r < runs; ++r) {
         const std::uint64_t run_seed = seed + r;
-        const Schedule schedule = generateSchedule(
-            paramsForSeed(run_seed, ops, audit_every));
+        FuzzParams params =
+            paramsForSeed(run_seed, ops, audit_every);
+        if (batch)
+            params.batchWindow = 4096;
+        const Schedule schedule = generateSchedule(params);
         const RunResult result = runSchedule(schedule);
 
         if (!result.failed) {
