@@ -54,6 +54,10 @@ AuditReport
 TranslationAuditor::collect()
 {
     AuditReport report;
+    // First so a missed shootdown names the cross-core invariant in
+    // a panicking audit's headline (the stale entry also trips the
+    // per-core tlb-coherence check below).
+    checkCrossCoreCoherence(report);
     checkTlbCoherence(report);
     checkSuperpageBacking(report);
     checkShadowTable(report);
@@ -91,12 +95,67 @@ TranslationAuditor::audit(Cycles now)
 }
 
 void
+TranslationAuditor::checkCrossCoreCoherence(AuditReport &report)
+{
+    const unsigned cores = kernel_.numCores();
+    if (cores < 2)
+        return;
+    ++report.checksRun;
+
+    // The property the shootdown IPIs maintain: after any kernel
+    // mutation of translation state, no core still holds the old
+    // translation. Each core is checked against the process it is
+    // bound to *now* — exactly what its entries must describe.
+    for (unsigned c = 0; c < cores; ++c) {
+        const AddressSpace &space =
+            kernel_.processSpace(kernel_.coreProcess(c));
+        for (const TlbEntry &e : kernel_.coreTlb(c).auditState()) {
+            if (e.pinned)
+                continue;
+            if (const ShadowSuperpage *sp =
+                    space.findSuperpage(e.vbase)) {
+                if (sp->vbase != e.vbase ||
+                    sp->shadowBase != e.pbase ||
+                    sp->sizeClass != e.sizeClass) {
+                    violate(report, "cross-core-coherence", "core ", c,
+                            " holds stale entry v=0x", std::hex,
+                            e.vbase, " p=0x", e.pbase,
+                            " disagreeing with the live superpage "
+                            "record (missed shootdown)");
+                }
+            } else if (e.sizeClass != 0) {
+                violate(report, "cross-core-coherence", "core ", c,
+                        " holds superpage entry v=0x", std::hex,
+                        e.vbase,
+                        " with no live superpage record (missed "
+                        "shootdown)");
+            } else if (!space.isPagePresent(e.vbase) ||
+                       space.frameOf(e.vbase) != pageFrame(e.pbase)) {
+                violate(report, "cross-core-coherence", "core ", c,
+                        " holds stale entry v=0x", std::hex, e.vbase,
+                        " -> frame 0x", pageFrame(e.pbase),
+                        " (missed shootdown)");
+            }
+        }
+    }
+}
+
+void
 TranslationAuditor::checkTlbCoherence(AuditReport &report)
 {
     ++report.checksRun;
-    const AddressSpace &space = kernel_.addressSpace();
+    for (unsigned c = 0; c < kernel_.numCores(); ++c) {
+        const AddressSpace &space =
+            kernel_.processSpace(kernel_.coreProcess(c));
+        checkOneTlb(report, kernel_.coreTlb(c), space);
+    }
+}
 
-    for (const TlbEntry &e : tlb_.auditState()) {
+void
+TranslationAuditor::checkOneTlb(AuditReport &report, const Tlb &tlb,
+                                const AddressSpace &space)
+{
+    for (const TlbEntry &e : tlb.auditState()) {
         if (e.pinned)
             continue;
 
@@ -147,8 +206,14 @@ void
 TranslationAuditor::checkSuperpageBacking(AuditReport &report)
 {
     ++report.checksRun;
-    const AddressSpace &space = kernel_.addressSpace();
+    for (unsigned p = 0; p < kernel_.numProcesses(); ++p)
+        checkOneSpaceBacking(report, kernel_.processSpace(p));
+}
 
+void
+TranslationAuditor::checkOneSpaceBacking(AuditReport &report,
+                                         const AddressSpace &space)
+{
     if (!memsys_.mmc().hasMtlb()) {
         if (!space.superpages().empty()) {
             violate(report, "superpage-backing",
@@ -202,17 +267,20 @@ TranslationAuditor::checkShadowTable(AuditReport &report)
         return;
     ++report.checksRun;
 
-    const AddressSpace &space = kernel_.addressSpace();
     const ShadowTable &table = memsys_.mmc().shadowTable();
 
-    // Shadow page indices covered by some recorded superpage.
+    // Shadow page indices covered by some recorded superpage of any
+    // process (the shadow region is a machine-wide resource).
     std::unordered_set<Addr> covered;
-    for (const auto &[vbase, sp] : space.superpages()) {
-        if (physMap_.classify(sp.shadowBase) != AddrKind::Shadow)
-            continue;  // reported by checkSuperpageBacking
-        const Addr spi0 = physMap_.shadowPageIndex(sp.shadowBase);
-        for (Addr i = 0; i < sp.numBasePages(); ++i)
-            covered.insert(spi0 + i);
+    for (unsigned p = 0; p < kernel_.numProcesses(); ++p) {
+        const AddressSpace &space = kernel_.processSpace(p);
+        for (const auto &[vbase, sp] : space.superpages()) {
+            if (physMap_.classify(sp.shadowBase) != AddrKind::Shadow)
+                continue;  // reported by checkSuperpageBacking
+            const Addr spi0 = physMap_.shadowPageIndex(sp.shadowBase);
+            for (Addr i = 0; i < sp.numBasePages(); ++i)
+                covered.insert(spi0 + i);
+        }
     }
 
     // Full table scan: leaked mappings and shadow-to-real
@@ -252,7 +320,6 @@ TranslationAuditor::checkFrameAccounting(AuditReport &report)
 {
     ++report.checksRun;
     const FrameAllocator &frames = kernel_.frames();
-    const AddressSpace &space = kernel_.addressSpace();
     const Addr first = frames.firstPfn();
     const Addr total = frames.numTotal();
 
@@ -272,23 +339,29 @@ TranslationAuditor::checkFrameAccounting(AuditReport &report)
         mark = markFree;
     }
 
-    for (const auto &[vpn, pfn] : space.presentPages()) {
-        if (pfn < first || pfn - first >= total) {
-            violate(report, "frame-accounting", "page v=0x", std::hex,
-                    vpn << basePageShift, " backed by 0x", pfn,
-                    ", outside the user frame pool");
-            continue;
+    // All processes' present pages together partition the pool with
+    // the free list: frames are a machine-wide resource.
+    for (unsigned p = 0; p < kernel_.numProcesses(); ++p) {
+        const AddressSpace &space = kernel_.processSpace(p);
+        for (const auto &[vpn, pfn] : space.presentPages()) {
+            if (pfn < first || pfn - first >= total) {
+                violate(report, "frame-accounting", "page v=0x",
+                        std::hex, vpn << basePageShift, " backed by 0x",
+                        pfn, ", outside the user frame pool");
+                continue;
+            }
+            std::uint8_t &mark = frameMarks_[pfn - first];
+            if (mark == markFree) {
+                violate(report, "frame-accounting", "frame 0x",
+                        std::hex, pfn, " is both free and mapped at "
+                        "v=0x", vpn << basePageShift);
+            } else if (mark == markMapped) {
+                violate(report, "frame-accounting", "frame 0x",
+                        std::hex, pfn,
+                        " backs two pages (double-mapped frame)");
+            }
+            mark = markMapped;
         }
-        std::uint8_t &mark = frameMarks_[pfn - first];
-        if (mark == markFree) {
-            violate(report, "frame-accounting", "frame 0x", std::hex,
-                    pfn, " is both free and mapped at v=0x",
-                    vpn << basePageShift);
-        } else if (mark == markMapped) {
-            violate(report, "frame-accounting", "frame 0x", std::hex,
-                    pfn, " backs two pages (double-mapped frame)");
-        }
-        mark = markMapped;
     }
 
     Addr leaked = 0;
@@ -356,13 +429,22 @@ void
 TranslationAuditor::checkHptCoherence(AuditReport &report)
 {
     ++report.checksRun;
-    const AddressSpace &space = kernel_.addressSpace();
+    const unsigned nproc = kernel_.numProcesses();
 
-    std::unordered_set<Addr> vpns;
-    std::unordered_map<Addr, Addr> replicas;  // superpage vbase -> count
+    // Uniqueness and replica counts are per address space: the HPT
+    // keys entries by (asid, vpn), so the audit does too.
+    std::unordered_set<Addr> vpns;            // Hpt::keyFor(vpn, asid)
+    std::unordered_map<Addr, Addr> replicas;  // keyed superpage -> count
 
     for (const auto &e : kernel_.hpt().auditState()) {
-        if (!vpns.insert(e.vpn).second) {
+        if (e.asid >= nproc) {
+            violate(report, "hpt-coherence", "entry for v=0x", std::hex,
+                    e.vpn << basePageShift, " names asid ", std::dec,
+                    e.asid, ", which no process owns");
+            continue;
+        }
+        const AddressSpace &space = kernel_.processSpace(e.asid);
+        if (!vpns.insert(Hpt::keyFor(e.vpn, e.asid)).second) {
             violate(report, "hpt-coherence", "duplicate entry for v=0x",
                     std::hex, e.vpn << basePageShift);
             continue;
@@ -396,7 +478,7 @@ TranslationAuditor::checkHptCoherence(AuditReport &report)
                         e.mapping.vbase, " s=0x", e.mapping.pbase,
                         " has no matching superpage record");
             } else {
-                ++replicas[sp->vbase];
+                ++replicas[Hpt::keyFor(pageFrame(sp->vbase), e.asid)];
             }
         } else if (kind == AddrKind::Real) {
             if (e.mapping.sizeClass != 0) {
@@ -427,20 +509,24 @@ TranslationAuditor::checkHptCoherence(AuditReport &report)
         }
     }
 
-    for (const auto &[vbase, sp] : space.superpages()) {
-        const Addr found = replicas.count(vbase) ? replicas[vbase] : 0;
-        if (found != sp.numBasePages()) {
-            violate(report, "hpt-coherence", "superpage v=0x", std::hex,
-                    vbase, " has ", std::dec, found, " of ",
-                    sp.numBasePages(), " HPT replicas");
+    for (unsigned p = 0; p < nproc; ++p) {
+        const AddressSpace &space = kernel_.processSpace(p);
+        for (const auto &[vbase, sp] : space.superpages()) {
+            const Addr key = Hpt::keyFor(pageFrame(vbase), p);
+            const Addr found = replicas.count(key) ? replicas[key] : 0;
+            if (found != sp.numBasePages()) {
+                violate(report, "hpt-coherence", "superpage v=0x",
+                        std::hex, vbase, " has ", std::dec, found,
+                        " of ", sp.numBasePages(), " HPT replicas");
+            }
         }
-    }
 
-    for (const auto &[vpn, pfn] : space.presentPages()) {
-        if (!vpns.count(vpn)) {
-            violate(report, "hpt-coherence", "present page v=0x",
-                    std::hex, vpn << basePageShift,
-                    " unreachable through the HPT");
+        for (const auto &[vpn, pfn] : space.presentPages()) {
+            if (!vpns.count(Hpt::keyFor(vpn, p))) {
+                violate(report, "hpt-coherence", "present page v=0x",
+                        std::hex, vpn << basePageShift,
+                        " unreachable through the HPT");
+            }
         }
     }
 }
@@ -474,10 +560,13 @@ TranslationAuditor::checkStatsIdentities(AuditReport &report)
                 bus.transactions(), ") != request phases (",
                 bus.requests(), ")");
     }
-    if (kernel_.tlbMissCount() != tlb_.misses()) {
+    std::uint64_t tlb_misses = 0;
+    for (unsigned c = 0; c < kernel_.numCores(); ++c)
+        tlb_misses += kernel_.coreTlb(c).misses();
+    if (kernel_.tlbMissCount() != tlb_misses) {
         violate(report, "stats-identities", "kernel trap count (",
-                kernel_.tlbMissCount(), ") != TLB misses (",
-                tlb_.misses(), ")");
+                kernel_.tlbMissCount(), ") != TLB misses over all "
+                "cores (", tlb_misses, ")");
     }
     if (mmc.hasMtlb()) {
         const Mtlb &mtlb = mmc.mtlb();
@@ -498,40 +587,56 @@ TranslationAuditor::checkStatsIdentities(AuditReport &report)
 void
 TranslationAuditor::checkL0Coherence(AuditReport &report)
 {
+    bool counted = false;
+    for (unsigned c = 0; c < kernel_.numCores(); ++c) {
+        const L0TranslationCache *l0 =
+            c == 0 ? l0_
+                   : (c - 1 < extraL0s_.size() ? extraL0s_[c - 1]
+                                               : nullptr);
+        if (checkOneL0(report, kernel_.coreTlb(c), l0) && !counted) {
+            ++report.checksRun;
+            counted = true;
+        }
+    }
+}
+
+bool
+TranslationAuditor::checkOneL0(AuditReport &report, const Tlb &tlb,
+                               const L0TranslationCache *l0)
+{
     // The epoch-wrap discipline (Tlb::bumpTranslationEpoch) holds
     // whether or not an L0 is attached: 0 marks a never-filled L0
     // entry, so a current epoch of 0 would make stale entries look
     // permanently live the moment an L0 is enabled.
-    const std::uint64_t epoch = tlb_.translationEpoch();
+    const std::uint64_t epoch = tlb.translationEpoch();
     if (epoch == 0) {
         violate(report, "l0-coherence",
                 "translation epoch is 0; the wrap guard must skip it");
     }
 
-    if (!l0_ || !l0_->enabled())
-        return;
-    ++report.checksRun;
+    if (!l0 || !l0->enabled())
+        return false;
 
     // Entries are stamped from the current epoch at fill time, so no
     // stamp may run ahead of it — a from-the-future stamp is
     // invisible to auditState() yet would spring back to life when
     // the epoch catches up to it.
-    if (l0_->maxStampedEpoch() > epoch) {
+    if (l0->maxStampedEpoch() > epoch) {
         violate(report, "l0-coherence", "an L0 entry is stamped with "
-                "future epoch ", l0_->maxStampedEpoch(),
+                "future epoch ", l0->maxStampedEpoch(),
                 " (current ", epoch, ")");
     }
 
-    for (const L0Entry &e : l0_->auditState(epoch)) {
+    for (const L0Entry &e : l0->auditState(epoch)) {
         const Addr va = e.vpage << basePageShift;
 
-        if (e.tlbSlot >= tlb_.capacity()) {
+        if (e.tlbSlot >= tlb.capacity()) {
             violate(report, "l0-coherence", "live entry v=0x", std::hex,
                     va, " bound to TLB slot ", std::dec, e.tlbSlot,
-                    " beyond capacity ", tlb_.capacity());
+                    " beyond capacity ", tlb.capacity());
             continue;
         }
-        const TlbEntry &owner = tlb_.entryAt(e.tlbSlot);
+        const TlbEntry &owner = tlb.entryAt(e.tlbSlot);
         if (!owner.covers(va)) {
             violate(report, "l0-coherence", "live entry v=0x", std::hex,
                     va, " bound to TLB slot ", std::dec, e.tlbSlot,
@@ -557,6 +662,7 @@ TranslationAuditor::checkL0Coherence(AuditReport &report)
                     va, " whose TLB entry has a clear referenced bit");
         }
     }
+    return true;
 }
 
 } // namespace mtlbsim

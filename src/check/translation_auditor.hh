@@ -40,6 +40,16 @@
  *    NRU referenced bit is set — the property that makes skipping
  *    the per-hit referenced-bit store sound (see cpu/l0_cache.hh).
  *    Runs only when an L0 cache is attached via attachL0().
+ *  - cross-core-coherence (multi-core machines only): no core's TLB
+ *    holds a translation that disagrees with the current mappings of
+ *    the process that core is bound to — the property the kernel's
+ *    shootdown IPIs exist to maintain. A missed shootdown surfaces
+ *    here as a stale remote entry.
+ *
+ * On multi-core machines every per-TLB check runs against each
+ * core's TLB (paired with the address space of the process bound to
+ * that core), and the OS-side checks take the union of all
+ * processes' mappings.
  */
 
 #ifndef MTLBSIM_CHECK_TRANSLATION_AUDITOR_HH
@@ -55,6 +65,7 @@
 namespace mtlbsim
 {
 
+class AddressSpace;
 class Cache;
 class Kernel;
 class L0TranslationCache;
@@ -77,10 +88,17 @@ class TranslationAuditor : public Checker
 
     std::string name() const override { return "translation-auditor"; }
 
-    /** Attach the CPU's L0 fast path so audits include the
+    /** Attach core 0's L0 fast path so audits include the
      *  l0-coherence invariant. Optional: the auditor predates the
      *  L0 cache and tests assemble it without one. */
     void attachL0(const L0TranslationCache *l0) { l0_ = l0; }
+
+    /** Attach the next extra core's L0 (cores 1..N-1, in core
+     *  order); System calls this once per additional core. */
+    void attachCoreL0(const L0TranslationCache *l0)
+    {
+        extraL0s_.push_back(l0);
+    }
 
     /** Run all checks; no policy applied. */
     AuditReport collect() override;
@@ -107,8 +125,13 @@ class TranslationAuditor : public Checker
     }
 
   private:
+    void checkCrossCoreCoherence(AuditReport &report);
     void checkTlbCoherence(AuditReport &report);
+    void checkOneTlb(AuditReport &report, const Tlb &tlb,
+                     const AddressSpace &space);
     void checkSuperpageBacking(AuditReport &report);
+    void checkOneSpaceBacking(AuditReport &report,
+                              const AddressSpace &space);
     void checkShadowTable(AuditReport &report);
     void checkFrameAccounting(AuditReport &report);
     void checkMtlbCoherence(AuditReport &report);
@@ -116,6 +139,9 @@ class TranslationAuditor : public Checker
     void checkDramGuard(AuditReport &report);
     void checkStatsIdentities(AuditReport &report);
     void checkL0Coherence(AuditReport &report);
+    /** One core's l0-coherence pass; true if the L0 was examined. */
+    bool checkOneL0(AuditReport &report, const Tlb &tlb,
+                    const L0TranslationCache *l0);
 
     CheckConfig config_;
     Tlb &tlb_;
@@ -124,6 +150,8 @@ class TranslationAuditor : public Checker
     Kernel &kernel_;
     const PhysMap &physMap_;
     const L0TranslationCache *l0_ = nullptr;
+    /** Extra cores' L0s, in core order (element c-1 is core c's). */
+    std::vector<const L0TranslationCache *> extraL0s_;
 
     /** Scratch mark-vector over the user frame pool, reused across
      *  audits so periodic auditing does not allocate. */

@@ -5,12 +5,13 @@ namespace mtlbsim
 
 Cpu::Cpu(const CpuConfig &config, Tlb &tlb, MicroItlb &uitlb,
          Cache &cache, MemorySystem &memsys, Kernel &kernel,
-         stats::StatGroup &parent)
+         stats::StatGroup &parent, unsigned core_id)
     : config_(config), tlb_(tlb), uitlb_(uitlb), cache_(cache),
       memsys_(memsys), kernel_(kernel),
       l0_(config.l0Entries),
       batchWindow_(config.batchEnable ? config.batchWindow : 0),
       cacheHitCycles_(cache.config().hitCycles),
+      coreId_(core_id),
       statGroup_("cpu"),
       instructions_(statGroup_.addScalar("instructions",
                                          "instructions retired")),
@@ -75,6 +76,7 @@ Cpu::translate(Addr vaddr, AccessType type)
 void
 Cpu::executeAtSlow(Counter n, Addr code_vaddr)
 {
+    noteCoreActive();
     maybeRunCheck();
     ++ifetchChecks_;
     if (!uitlb_.hit(code_vaddr)) {
@@ -86,7 +88,10 @@ Cpu::executeAtSlow(Counter n, Addr code_vaddr)
         panicIf(!entry, "ITLB fill lost its unified-TLB entry");
         uitlb_.fill(*entry);
     }
-    execute(n);
+    // Retire directly rather than through execute(): the public
+    // executeAt() entry already fed the recorder for this op.
+    instructions_ += static_cast<double>(n);
+    now_ += n;
 }
 
 void
@@ -97,6 +102,7 @@ Cpu::dataAccess(Addr vaddr, AccessType type)
     // their interleaving is irrelevant to every final value, and no
     // stats reader runs without flushing first (flush points:
     // flushBatch() callers).
+    noteCoreActive();
     maybeRunCheck();
     const bool is_store = type == AccessType::Write;
     if (is_store)

@@ -64,19 +64,51 @@ struct CpuConfig
 };
 
 /**
+ * One operation a workload asked of the CPU, as captured by the
+ * recorder hook (setRecorder). The multiprogramming runner records a
+ * program once on a scratch machine and replays the operation stream
+ * under a scheduler (src/workloads/multiprog.*).
+ */
+struct CpuOpRecord
+{
+    enum class Kind
+    {
+        Load,
+        Store,
+        Execute,
+        ExecuteAt,
+        Remap,
+        Sbrk,
+        SetSbrkPrealloc,
+        Recolor,
+    };
+
+    Kind kind = Kind::Execute;
+    Addr a = 0;             ///< address operand (when the op has one)
+    std::uint64_t n = 0;    ///< count/bytes/color operand
+};
+
+/**
  * The CPU.
  */
 class Cpu
 {
   public:
+    /**
+     * @param core_id this core's index in the shared kernel's core
+     *        table; the CPU names itself (Kernel::setActiveCore)
+     *        before every kernel entry
+     */
     Cpu(const CpuConfig &config, Tlb &tlb, MicroItlb &uitlb,
         Cache &cache, MemorySystem &memsys, Kernel &kernel,
-        stats::StatGroup &parent);
+        stats::StatGroup &parent, unsigned core_id = 0);
 
     /** Retire @p n non-memory instructions (1 cycle each). */
     void
     execute(Counter n)
     {
+        if (recorder_)
+            recorder_({CpuOpRecord::Kind::Execute, 0, n});
         instructions_ += static_cast<double>(n);
         now_ += n;
     }
@@ -97,6 +129,8 @@ class Cpu
     void
     executeAt(Counter n, Addr code_vaddr)
     {
+        if (recorder_)
+            recorder_({CpuOpRecord::Kind::ExecuteAt, code_vaddr, n});
         if (batchWindow_ != 0 && uitlb_.covers(code_vaddr) &&
             !(checkInterval_ != 0 && now_ >= nextCheckAt_)) {
             ++batch_.pendingIfetch;
@@ -115,6 +149,8 @@ class Cpu
     void
     load(Addr vaddr)
     {
+        if (recorder_)
+            recorder_({CpuOpRecord::Kind::Load, vaddr, 0});
         if (!tryBatchedAccess(vaddr, false))
             dataAccess(vaddr, AccessType::Read);
     }
@@ -123,6 +159,8 @@ class Cpu
     void
     store(Addr vaddr)
     {
+        if (recorder_)
+            recorder_({CpuOpRecord::Kind::Store, vaddr, 0});
         if (!tryBatchedAccess(vaddr, true))
             dataAccess(vaddr, AccessType::Write);
     }
@@ -132,14 +170,20 @@ class Cpu
     void
     remap(Addr vbase, Addr bytes)
     {
+        if (recorder_)
+            recorder_({CpuOpRecord::Kind::Remap, vbase, bytes});
         flushBatch();
+        noteCoreActive();
         now_ += kernel_.remap(vbase, bytes, now_);
     }
 
     Addr
     sbrk(Addr bytes)
     {
+        if (recorder_)
+            recorder_({CpuOpRecord::Kind::Sbrk, 0, bytes});
         flushBatch();
+        noteCoreActive();
         SbrkResult r = kernel_.sbrk(bytes, now_);
         now_ += r.cycles;
         return r.oldBreak;
@@ -148,10 +192,52 @@ class Cpu
     void
     recolorPage(Addr vaddr, unsigned color)
     {
+        if (recorder_)
+            recorder_({CpuOpRecord::Kind::Recolor, vaddr, color});
         flushBatch();
+        noteCoreActive();
         now_ += kernel_.recolorPage(vaddr, color, now_);
     }
+
+    /** Change the kernel's sbrk() preallocation chunk for this
+     *  core's process. A zero-cycle libc knob, routed through the
+     *  CPU so the recorder captures it. */
+    void
+    setSbrkPrealloc(Addr bytes)
+    {
+        if (recorder_)
+            recorder_({CpuOpRecord::Kind::SetSbrkPrealloc, 0, bytes});
+        noteCoreActive();
+        kernel_.setSbrkPrealloc(bytes);
+    }
     /** @} */
+
+    /**
+     * Observe every workload-issued operation (before it executes).
+     * Host-side capture support for the multiprogramming runner;
+     * null (the default) costs one predictable branch per op.
+     */
+    void
+    setRecorder(std::function<void(const CpuOpRecord &)> recorder)
+    {
+        recorder_ = std::move(recorder);
+    }
+
+    /**
+     * Advance the clock by @p n cycles without retiring work: the
+     * scheduler's context-switch cost and the kernel's shootdown-IPI
+     * service time both land here. Flushes the batch first so
+     * deferred counts are realized under the pre-advance state.
+     */
+    void
+    charge(Cycles n)
+    {
+        flushBatch();
+        batch_.count = 0;
+        now_ += n;
+    }
+
+    unsigned coreId() const { return coreId_; }
 
     /**
      * Realize the batch engine's deferred statistic counts — CPU
@@ -358,6 +444,18 @@ class Cpu
      *  page's write permission. */
     Translation translate(Addr vaddr, AccessType type);
 
+    /** Name this core as the machine's active requester before any
+     *  kernel entry or memory traffic it may generate: the shared
+     *  kernel routes TLB/micro-ITLB mutations to the active core's
+     *  structures, and the memory system attributes MTLB port
+     *  occupancy to the requester. */
+    void
+    noteCoreActive()
+    {
+        kernel_.setActiveCore(coreId_);
+        memsys_.setRequester(coreId_);
+    }
+
     CpuConfig config_;
     Tlb &tlb_;
     MicroItlb &uitlb_;
@@ -380,6 +478,11 @@ class Cpu
     Cycles checkInterval_ = 0;  ///< 0 = no periodic check
     Cycles nextCheckAt_ = 0;
     std::function<void(Cycles)> checkHook_;
+
+    unsigned coreId_;
+    /** Host-side op capture hook (multiprog runner); null in normal
+     *  runs, where it costs one predictable branch per op. */
+    std::function<void(const CpuOpRecord &)> recorder_;
 
     stats::StatGroup statGroup_;
     stats::Scalar &instructions_;

@@ -27,6 +27,10 @@ SystemConfig
 makeSystemConfig(const FuzzParams &p)
 {
     SystemConfig cfg;
+    // Multi-core fuzzing: every core is bound to process 0, so the
+    // flat per-address-space oracle stays valid; the cores disagree
+    // only in what their private TLBs cache.
+    cfg.cores = p.cores ? p.cores : 1;
     cfg.tlbEntries = p.tlbEntries;
     cfg.mtlb.numEntries = p.mtlbEntries;
     cfg.mtlb.associativity = p.mtlbAssoc;
@@ -127,8 +131,10 @@ DifferentialFuzzer::run(const std::vector<FuzzOp> &ops)
             if (!failure_ &&
                 ((i + 1) % every == 0 || i + 1 == ops.size())) {
                 // Checks read statistics: realize deferred batch
-                // counts so every sweep sees final values.
-                sys_->cpu().flushBatch();
+                // counts on every core so every sweep sees final
+                // values.
+                for (unsigned c = 0; c < sys_->numCores(); ++c)
+                    sys_->cpu(c).flushBatch();
                 runPeriodicChecks(i);
             }
         } catch (const FatalError &e) {
@@ -143,7 +149,8 @@ DifferentialFuzzer::run(const std::vector<FuzzOp> &ops)
         result.failed = true;
         result.failure = *failure_;
     }
-    sys_->cpu().flushBatch();
+    for (unsigned c = 0; c < sys_->numCores(); ++c)
+        sys_->cpu(c).flushBatch();
     result.finalStats = sys_->rootStats().toJson();
     return result;
 }
@@ -161,7 +168,11 @@ DifferentialFuzzer::fail(unsigned index, std::string detector,
 void
 DifferentialFuzzer::applyOp(const FuzzOp &op, unsigned index)
 {
-    Cpu &cpu = sys_->cpu();
+    // Round-robin the op stream over the cores (all bound to process
+    // 0), so every core builds private TLB/L0 state over the same
+    // address space and only shootdown broadcasts keep them coherent.
+    const unsigned core = index % sys_->numCores();
+    Cpu &cpu = sys_->cpu(core);
     Kernel &kernel = sys_->kernel();
     AddressSpace &space = kernel.addressSpace();
 
@@ -170,13 +181,13 @@ DifferentialFuzzer::applyOp(const FuzzOp &op, unsigned index)
       case OpKind::LoadRo:
         cpu.load(op.a);
         oracle_.noteAccess(op.a, false);
-        checkAccess(op.a, index);
+        checkAccess(op.a, index, core);
         break;
 
       case OpKind::Store:
         cpu.store(op.a);
         oracle_.noteAccess(op.a, true);
-        checkAccess(op.a, index);
+        checkAccess(op.a, index, core);
         break;
 
       case OpKind::Remap:
@@ -201,6 +212,10 @@ DifferentialFuzzer::applyOp(const FuzzOp &op, unsigned index)
         const unsigned expect_written =
             pagewise ? oracle_.expectedPagewiseWrites(vbase)
                      : expect_present;
+        // Direct kernel calls bypass the Cpu wrappers, so name the
+        // issuing core explicitly: the shootdown broadcast must skip
+        // it and hit everyone else.
+        kernel.setActiveCore(core);
         const SwapOutResult r =
             pagewise ? kernel.swapOutSuperpagePagewise(vbase, cpu.now())
                      : kernel.swapOutSuperpageWhole(vbase, cpu.now());
@@ -239,7 +254,8 @@ DifferentialFuzzer::applyOp(const FuzzOp &op, unsigned index)
 }
 
 void
-DifferentialFuzzer::checkAccess(Addr vaddr, unsigned index)
+DifferentialFuzzer::checkAccess(Addr vaddr, unsigned index,
+                                unsigned core)
 {
     if (failure_)
         return;
@@ -251,13 +267,60 @@ DifferentialFuzzer::checkAccess(Addr vaddr, unsigned index)
         return;
     }
 
+    const Addr oracle_pfn = *oracle_.frameOf(vaddr);
+    const PhysMap &pm = sys_->physmap();
+
+    // An entry on core c must resolve — through the shadow table
+    // when it names a shadow address — to the oracle's frame.
+    const auto validate = [&](unsigned c, const TlbEntry &e) {
+        const Addr paddr = e.translate(vaddr);
+        switch (pm.classify(paddr)) {
+          case AddrKind::Real:
+            if ((paddr >> basePageShift) != oracle_pfn) {
+                std::ostringstream os;
+                os << "core " << c << " TLB maps " << hexAddr(vaddr)
+                   << " to real frame " << (paddr >> basePageShift)
+                   << ", oracle says " << oracle_pfn;
+                fail(index, "translation", os.str());
+            }
+            break;
+
+          case AddrKind::Shadow: {
+            const Addr spi = pm.shadowPageIndex(paddr);
+            const ShadowPte &pte =
+                sys_->memsys().mmc().shadowTable().entry(spi);
+            if (!pte.valid) {
+                fail(index, "translation",
+                     "shadow PTE " + hexAddr(spi) + " for " +
+                         hexAddr(vaddr) +
+                         " is invalid right after the access");
+            } else if (pte.realPfn != oracle_pfn) {
+                std::ostringstream os;
+                os << "shadow PTE " << hexAddr(spi) << " for "
+                   << hexAddr(vaddr) << " names frame " << pte.realPfn
+                   << ", oracle says " << oracle_pfn;
+                fail(index, "translation", os.str());
+            }
+            break;
+          }
+
+          default:
+            fail(index, "translation",
+                 "core " + std::to_string(c) + " TLB maps " +
+                     hexAddr(vaddr) + " to non-memory address " +
+                     hexAddr(paddr));
+            break;
+        }
+    };
+
     // The entry the access just used must still be resident: nothing
     // between its insert and this probe can evict it (kernel accesses
     // bypass the TLB and the access itself touches one entry).
-    const std::optional<TlbEntry> entry = sys_->tlb().probe(vaddr);
+    const std::optional<TlbEntry> entry = sys_->tlb(core).probe(vaddr);
     if (!entry) {
         fail(index, "translation",
-             "no TLB entry covers " + hexAddr(vaddr) +
+             "no TLB entry on core " + std::to_string(core) +
+                 " covers " + hexAddr(vaddr) +
                  " immediately after the access");
         return;
     }
@@ -278,45 +341,18 @@ DifferentialFuzzer::checkAccess(Addr vaddr, unsigned index)
         return;
     }
 
-    const Addr oracle_pfn = *oracle_.frameOf(vaddr);
-    const Addr paddr = entry->translate(vaddr);
-    const PhysMap &pm = sys_->physmap();
+    validate(core, *entry);
 
-    switch (pm.classify(paddr)) {
-      case AddrKind::Real:
-        if ((paddr >> basePageShift) != oracle_pfn) {
-            std::ostringstream os;
-            os << "TLB maps " << hexAddr(vaddr) << " to real frame "
-               << (paddr >> basePageShift) << ", oracle says "
-               << oracle_pfn;
-            fail(index, "translation", os.str());
+    // Every other core that still caches a translation for this
+    // address must agree with the oracle too — a missed shootdown
+    // surfaces here as a stale remote entry naming the old frame.
+    for (unsigned c = 0; c < sys_->numCores() && !failure_; ++c) {
+        if (c == core)
+            continue;
+        if (const std::optional<TlbEntry> remote =
+                sys_->tlb(c).probe(vaddr)) {
+            validate(c, *remote);
         }
-        break;
-
-      case AddrKind::Shadow: {
-        const Addr spi = pm.shadowPageIndex(paddr);
-        const ShadowPte &pte =
-            sys_->memsys().mmc().shadowTable().entry(spi);
-        if (!pte.valid) {
-            fail(index, "translation",
-                 "shadow PTE " + hexAddr(spi) + " for " +
-                     hexAddr(vaddr) +
-                     " is invalid right after the access");
-        } else if (pte.realPfn != oracle_pfn) {
-            std::ostringstream os;
-            os << "shadow PTE " << hexAddr(spi) << " for "
-               << hexAddr(vaddr) << " names frame " << pte.realPfn
-               << ", oracle says " << oracle_pfn;
-            fail(index, "translation", os.str());
-        }
-        break;
-      }
-
-      default:
-        fail(index, "translation",
-             "TLB maps " + hexAddr(vaddr) +
-                 " to non-memory address " + hexAddr(paddr));
-        break;
     }
 }
 
@@ -538,6 +574,13 @@ DifferentialFuzzer::applyInject(FaultKind kind, unsigned index)
         inject.clearDirtyBit(*spi);
         break;
       }
+
+      case FaultKind::SkipShootdown:
+        // Only meaningful with a remote core to leave stale.
+        if (sys.numCores() < 2)
+            return;
+        sys.kernel().suppressNextShootdown();
+        break;
     }
 }
 
@@ -568,6 +611,27 @@ Schedule
 selfTestSchedule(FaultKind kind)
 {
     std::vector<FuzzOp> ops;
+
+    if (kind == FaultKind::SkipShootdown) {
+        // Two cores; ops alternate core 0 / core 1 (index % cores).
+        // Core 0 caches a base-page translation, then core 1 recolors
+        // the page — which moves it behind a shadow mapping — with
+        // the shootdown broadcast suppressed. Core 0's entry is now
+        // stale, and the per-op audit must name cross-core-coherence.
+        const Addr va = fuzzDataBase + 0x80000;
+        ops.push_back({OpKind::Load, va, 0});       // core 0
+        ops.push_back({OpKind::Load, va, 0});       // core 1
+        ops.push_back({OpKind::Inject,
+                       static_cast<std::uint64_t>(kind), 0});
+        ops.push_back({OpKind::Recolor, va, 1});    // core 1
+        Schedule schedule;
+        schedule.params =
+            selfTestParams(static_cast<unsigned>(ops.size()));
+        schedule.params.cores = 2;
+        schedule.ops = std::move(ops);
+        return schedule;
+    }
+
     // Common prologue: one 64 KB shadow superpage with a dirty first
     // page and a clean-but-referenced second page.
     ops.push_back({OpKind::Remap, fuzzDataBase, Addr{64} * 1024});

@@ -20,6 +20,14 @@
  *    dirty pages; a whole-superpage swap exactly the present ones;
  *  - superpage records and every TranslationAuditor invariant.
  *
+ * With FuzzParams::cores > 1 the op stream round-robins over the
+ * cores, all bound to process 0 (the oracle stays flat per address
+ * space). After every access the fuzzer validates not just the
+ * issuing core's entry but any translation a remote core still
+ * caches for that address, and the periodic auditor pass covers the
+ * cross-core-coherence invariant — so a missed shootdown broadcast
+ * is caught either way.
+ *
  * On a mismatch the run stops with a detector tag and the schedule
  * can be written to a versioned `.fztrace` replay file; replaying a
  * trace reproduces the run — including its final statistics —
@@ -96,7 +104,7 @@ class DifferentialFuzzer
 
     void applyOp(const FuzzOp &op, unsigned index);
     void applyInject(FaultKind kind, unsigned index);
-    void checkAccess(Addr vaddr, unsigned index);
+    void checkAccess(Addr vaddr, unsigned index, unsigned core);
     void runPeriodicChecks(unsigned index);
     void fail(unsigned index, std::string detector, std::string detail);
 

@@ -21,6 +21,7 @@ faultKindName(FaultKind kind)
       case FaultKind::RebindFrame: return "rebind-frame";
       case FaultKind::DropHptEntry: return "drop-hpt-entry";
       case FaultKind::ClearDirtyBit: return "clear-dirty-bit";
+      case FaultKind::SkipShootdown: return "skip-shootdown";
     }
     panic("unknown fault kind ", static_cast<unsigned>(kind));
 }
@@ -161,6 +162,7 @@ paramsToJson(const FuzzParams &params)
     v.set("seed", json::Value(params.seed));
     v.set("num_ops", json::Value(params.numOps));
     v.set("audit_every", json::Value(params.auditEvery));
+    v.set("cores", json::Value(params.cores));
     v.set("tlb_entries", json::Value(params.tlbEntries));
     v.set("mtlb_entries", json::Value(params.mtlbEntries));
     v.set("mtlb_assoc", json::Value(params.mtlbAssoc));
@@ -194,6 +196,8 @@ paramsFromJson(const json::Value &v)
         p.shadowBytes = u64Member(v, "shadow_bytes");
     if (v.find("batch_window") != nullptr)
         p.batchWindow = static_cast<unsigned>(u64Member(v, "batch_window"));
+    if (v.find("cores") != nullptr)
+        p.cores = static_cast<unsigned>(u64Member(v, "cores"));
     p.allShadowMode = boolMember(v, "all_shadow");
     p.onlinePromotion = boolMember(v, "online_promotion");
     p.frameSeed = u64Member(v, "frame_seed");

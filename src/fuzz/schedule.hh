@@ -68,9 +68,13 @@ enum class FaultKind : std::uint8_t
     RebindFrame,
     DropHptEntry,
     ClearDirtyBit,
+    /** Swallow the next shootdown broadcast, leaving remote cores
+     *  stale (multi-core machines; proves the auditor's cross-core
+     *  coherence invariant fires). */
+    SkipShootdown,
 };
 
-constexpr unsigned numFaultKinds = 11;
+constexpr unsigned numFaultKinds = 12;
 
 const char *faultKindName(FaultKind kind);
 
@@ -89,6 +93,12 @@ struct FuzzParams
 
     /** @name Machine shape: tiny structures for maximal pressure */
     /** @{ */
+    /** Core count. Every core shares process 0 (the oracle stays flat
+     *  per address space); op i is dispatched on core i % cores, so
+     *  remote cores accumulate TLB state that only shootdown
+     *  broadcasts keep coherent. Pre-existing traces without the
+     *  field replay single-core. */
+    unsigned cores = 1;
     unsigned tlbEntries = 8;
     unsigned mtlbEntries = 8;
     unsigned mtlbAssoc = 2;

@@ -70,9 +70,10 @@ pageBackingAddr(AddressSpace &space, Addr vbase)
 } // namespace
 
 FuzzParams
-modelParams()
+modelParams(unsigned cores)
 {
     FuzzParams p;
+    p.cores = cores ? cores : 1;
     p.seed = 1;
     p.numOps = 0;       // the search supplies the op streams
     p.auditEvery = 1;   // full sweep after every single op
@@ -148,23 +149,26 @@ canonicalHash(DifferentialFuzzer &fuzzer)
         h.mix(static_cast<std::uint64_t>(sp.sizeClass));
     }
 
-    // TLB content by slot, plus the NRU scan position (replacement
-    // depends on it). The internal free-slot order is *not* captured
-    // (documented completeness caveat, docs/manual.md §11).
-    const Tlb &tlb = sys.tlb();
-    h.mix(static_cast<std::uint64_t>(tlb.nruClock()));
-    for (unsigned s = 0; s < tlb.capacity(); ++s) {
-        const TlbEntry &e = tlb.entryAt(s);
-        h.mix(e.valid);
-        if (!e.valid)
-            continue;
-        h.mix(e.vbase);
-        h.mix(e.pbase);
-        h.mix(static_cast<std::uint64_t>(e.sizeClass));
-        h.mix(e.prot.writable);
-        h.mix(e.prot.userAccessible);
-        h.mix(e.pinned);
-        h.mix(e.referenced);
+    // Every core's TLB content by slot, plus the NRU scan position
+    // (replacement depends on it). The internal free-slot order is
+    // *not* captured (documented completeness caveat, docs/manual.md
+    // §11).
+    for (unsigned c = 0; c < sys.numCores(); ++c) {
+        const Tlb &tlb = sys.tlb(c);
+        h.mix(static_cast<std::uint64_t>(tlb.nruClock()));
+        for (unsigned s = 0; s < tlb.capacity(); ++s) {
+            const TlbEntry &e = tlb.entryAt(s);
+            h.mix(e.valid);
+            if (!e.valid)
+                continue;
+            h.mix(e.vbase);
+            h.mix(e.pbase);
+            h.mix(static_cast<std::uint64_t>(e.sizeClass));
+            h.mix(e.prot.writable);
+            h.mix(e.prot.userAccessible);
+            h.mix(e.pinned);
+            h.mix(e.referenced);
+        }
     }
 
     // MTLB entries (snapshot order is set/way order: deterministic
@@ -199,6 +203,12 @@ canonicalHash(DifferentialFuzzer &fuzzer)
             h.mix(static_cast<bool>(pte.modified));
         }
     }
+
+    // A pending (injected) shootdown suppression changes what the
+    // next mutation does to remote TLBs without touching anything
+    // else; without this mix the flagged state would be pruned
+    // against its clean twin and the planted fault never found.
+    h.mix(sys.kernel().shootdownSuppressed());
 
     // Frame free list *in order*: allocation order determines which
     // frame the next materialisation gets.
@@ -301,8 +311,20 @@ opToString(const FuzzOp &op)
 ModelResult
 runModelCheck(const ModelConfig &cfg)
 {
-    const FuzzParams params = modelParams();
+    const unsigned cores = cfg.cores ? cfg.cores : 1;
+    const FuzzParams params = modelParams(cores);
     const std::vector<FuzzOp> alphabet = modelAlphabet(cfg);
+
+    // Ops dispatch on core (index % cores), so which core executes
+    // the *next* op is a function of the trace length: equal
+    // architectural states at different dispatch phases have
+    // different successors and must not prune each other. For one
+    // core the phase is always 0 and the key is the bare hash.
+    const auto state_key = [cores](DifferentialFuzzer &fuzzer,
+                                   std::size_t trace_len) {
+        return canonicalHash(fuzzer) ^
+               (0x9e3779b97f4a7c15ull * (trace_len % cores));
+    };
 
     ModelResult result;
     std::unordered_set<std::uint64_t> seen;
@@ -311,7 +333,7 @@ runModelCheck(const ModelConfig &cfg)
     {
         DifferentialFuzzer root(params);
         (void)root.run({});
-        seen.insert(canonicalHash(root));
+        seen.insert(state_key(root, 0));
     }
     result.stats.statesExplored = 1;
     result.stats.levelSizes.push_back(1);
@@ -339,7 +361,8 @@ runModelCheck(const ModelConfig &cfg)
                     return result;
                 }
 
-                if (!seen.insert(canonicalHash(fuzzer)).second) {
+                if (!seen.insert(state_key(fuzzer, child.size()))
+                         .second) {
                     ++result.stats.statesPruned;
                     continue;
                 }

@@ -50,6 +50,12 @@ struct ModelConfig
     /** Maximum operation-sequence length to enumerate. */
     unsigned depth = 6;
 
+    /** Model-machine cores. Ops dispatch on core i % cores (the
+     *  fuzzer's rule), so the dedup key folds in the dispatch phase:
+     *  equal architectural states whose *next* op lands on different
+     *  cores are distinct search nodes. */
+    unsigned cores = 1;
+
     /** When set, an Inject op planting this corruption joins the
      *  alphabet; the checker is then expected to *fail*, and the
      *  breadth-first order guarantees the reported counterexample is
@@ -91,8 +97,9 @@ struct ModelResult
  *  MTLB set, no L0 (the epoch is monotone and would defeat state
  *  dedup), exactly 8 user frames, a 16 KB cache (4 page colors) and
  *  a 4 MB shadow region (8 x 16 KB, 2 x 64 KB, 1 x 256 KB regions
- *  after BucketShadowAllocator::partitionFor). */
-fuzz::FuzzParams modelParams();
+ *  after BucketShadowAllocator::partitionFor). With @p cores > 1
+ *  every core gets that private TLB over the shared rest. */
+fuzz::FuzzParams modelParams(unsigned cores = 1);
 
 /** The operation alphabet: loads/stores at three pages of chunk A
  *  and one of chunk B, 16 KB remaps of both chunks, pagewise and

@@ -48,6 +48,13 @@ struct MtlbConfig
      *  in-memory table on every change. The paper's simulated MTLB
      *  left this off and predicted a negligible effect (§3.4). */
     bool writeBackAccessBits = false;
+    /** MMC cycles one shadow-classified operation holds the MTLB's
+     *  single port (§2.2 notes the MTLB "is single ported"). Only
+     *  observable on multi-core machines, where concurrent shadow
+     *  traffic from different cores serialises at the port
+     *  (MemorySystem::enablePortModel); single-core machines never
+     *  enable the model and are timing-identical to older builds. */
+    Cycles portOccupancyCycles = 2;
 };
 
 /** What kind of request the MMC is asking the MTLB to translate. */

@@ -3,10 +3,13 @@
 namespace mtlbsim
 {
 
-AddressSpace::AddressSpace(Addr pt_pool_base)
-    : ptPoolBase_(pt_pool_base),
+AddressSpace::AddressSpace(Addr pt_pool_base, Addr pool_bytes)
+    : ptPoolBase_(pt_pool_base), ptPoolBytes_(pool_bytes),
       ptPoolCursor_(pt_pool_base + basePageSize) // slot 0 is the L1 node
-{}
+{
+    fatalIf(pool_bytes != 0 && pool_bytes < 2 * basePageSize,
+            "page-table pool too small for the L1 node plus one L2");
+}
 
 void
 AddressSpace::addRegion(const std::string &name, Addr base, Addr size,
@@ -146,6 +149,9 @@ AddressSpace::l2EntryAddr(Addr vaddr)
     auto it = l2Nodes_.find(l1_index);
     if (it == l2Nodes_.end()) {
         const Addr node = ptPoolCursor_;
+        fatalIf(ptPoolBytes_ != 0 &&
+                    node + basePageSize > ptPoolBase_ + ptPoolBytes_,
+                "page-table pool exhausted at 0x", std::hex, node);
         ptPoolCursor_ += basePageSize;
         it = l2Nodes_.emplace(l1_index, node).first;
     }

@@ -69,8 +69,11 @@ class AddressSpace
     /**
      * @param pt_pool_base kernel physical base of this process's
      *                     page-table node pool
+     * @param pool_bytes   pool capacity; 0 means unbounded. Bounded
+     *                     pools let many processes pack their tables
+     *                     into one kernel region without colliding.
      */
-    explicit AddressSpace(Addr pt_pool_base);
+    explicit AddressSpace(Addr pt_pool_base, Addr pool_bytes = 0);
 
     /** Declare a region. Regions must not overlap. */
     void addRegion(const std::string &name, Addr base, Addr size,
@@ -83,6 +86,9 @@ class AddressSpace
     const VmRegion *findRegion(Addr vaddr) const;
 
     const VmRegion *findRegionByName(const std::string &name) const;
+
+    /** All declared regions, in declaration order. */
+    const std::vector<VmRegion> &regions() const { return regions_; }
 
     /** Is this base page materialised with a real frame? */
     bool isPagePresent(Addr vaddr) const;
@@ -139,6 +145,7 @@ class AddressSpace
     std::map<Addr, ShadowSuperpage> superpages_;
 
     Addr ptPoolBase_;
+    Addr ptPoolBytes_;  ///< 0 = unbounded
     Addr ptPoolCursor_;
     std::unordered_map<Addr, Addr> l2Nodes_; ///< l1 index -> node addr
 };

@@ -37,10 +37,10 @@ Hpt::allocOverflowEntry()
 }
 
 Hpt::LookupResult
-Hpt::lookup(Addr vaddr) const
+Hpt::lookup(Addr vaddr, unsigned asid) const
 {
     LookupResult result;
-    const Addr vpn = pageFrame(vaddr);
+    const Addr vpn = keyFor(pageFrame(vaddr), asid);
     const auto &chain = chains_[bucketOf(vpn)];
 
     if (chain.empty()) {
@@ -121,7 +121,7 @@ Hpt::removeOne(Addr vpn, unsigned size_class)
 }
 
 std::vector<Addr>
-Hpt::insert(const VmMapping &mapping)
+Hpt::insert(const VmMapping &mapping, unsigned asid)
 {
     const unsigned c = mapping.sizeClass;
     fatalIf(c >= numPageSizeClasses, "bad size class");
@@ -132,7 +132,7 @@ Hpt::insert(const VmMapping &mapping)
     // One replica per base page (PA-RISC-style base-grain hashing).
     std::vector<Addr> touched;
     const Addr n_pages = size >> basePageShift;
-    const Addr vpn0 = pageFrame(mapping.vbase);
+    const Addr vpn0 = keyFor(pageFrame(mapping.vbase), asid);
     for (Addr i = 0; i < n_pages; ++i) {
         auto t = insertOne(vpn0 + i, mapping);
         touched.insert(touched.end(), t.begin(), t.end());
@@ -141,13 +141,14 @@ Hpt::insert(const VmMapping &mapping)
 }
 
 std::vector<Addr>
-Hpt::insertBasePageReplica(const VmMapping &mapping, Addr vaddr)
+Hpt::insertBasePageReplica(const VmMapping &mapping, Addr vaddr,
+                           unsigned asid)
 {
     fatalIf(vaddr < mapping.vbase ||
                 vaddr >= mapping.vbase + pageSizeForClass(
                                              mapping.sizeClass),
             "replica address outside the mapping");
-    return insertOne(pageFrame(vaddr), mapping);
+    return insertOne(keyFor(pageFrame(vaddr), asid), mapping);
 }
 
 std::vector<Hpt::AuditEntry>
@@ -156,19 +157,24 @@ Hpt::auditState() const
     std::vector<AuditEntry> live;
     live.reserve(liveEntries_);
     for (const auto &chain : chains_) {
-        for (const auto &entry : chain)
-            live.push_back({entry.vpn, entry.mapping});
+        for (const auto &entry : chain) {
+            const auto asid =
+                static_cast<unsigned>(entry.vpn >> asidKeyShift);
+            const Addr vpn =
+                entry.vpn & ((Addr{1} << asidKeyShift) - 1);
+            live.push_back({vpn, asid, entry.mapping});
+        }
     }
     return live;
 }
 
 std::vector<Addr>
-Hpt::remove(Addr vbase, unsigned size_class)
+Hpt::remove(Addr vbase, unsigned size_class, unsigned asid)
 {
     fatalIf(size_class >= numPageSizeClasses, "bad size class");
     std::vector<Addr> touched;
     const Addr n_pages = pageSizeForClass(size_class) >> basePageShift;
-    const Addr vpn0 = pageFrame(vbase);
+    const Addr vpn0 = keyFor(pageFrame(vbase), asid);
     for (Addr i = 0; i < n_pages; ++i) {
         auto t = removeOne(vpn0 + i, size_class);
         touched.insert(touched.end(), t.begin(), t.end());

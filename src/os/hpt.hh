@@ -67,15 +67,16 @@ class Hpt
         std::vector<Addr> probeAddrs;
     };
 
-    /** Probe for a translation of @p vaddr (single hash, one chain
-     *  walk — page-size independent). */
-    LookupResult lookup(Addr vaddr) const;
+    /** Probe for a translation of @p vaddr in address space @p asid
+     *  (single hash, one chain walk — page-size independent). */
+    LookupResult lookup(Addr vaddr, unsigned asid = 0) const;
 
     /**
      * Insert a mapping, replicating one entry per base page it
      * covers. @return kernel addresses written, for cost accounting.
      */
-    std::vector<Addr> insert(const VmMapping &mapping);
+    std::vector<Addr> insert(const VmMapping &mapping,
+                             unsigned asid = 0);
 
     /**
      * Insert only the replica for the single base page containing
@@ -83,18 +84,21 @@ class Hpt
      * per page). @return kernel addresses written.
      */
     std::vector<Addr> insertBasePageReplica(const VmMapping &mapping,
-                                            Addr vaddr);
+                                            Addr vaddr,
+                                            unsigned asid = 0);
 
     /**
      * Remove the mapping with this base and size class (all its
      * replicas). @return kernel addresses touched.
      */
-    std::vector<Addr> remove(Addr vbase, unsigned size_class);
+    std::vector<Addr> remove(Addr vbase, unsigned size_class,
+                             unsigned asid = 0);
 
     /** One live entry as seen by the invariant auditor. */
     struct AuditEntry
     {
         Addr vpn = 0;       ///< base-page virtual page number (key)
+        unsigned asid = 0;  ///< owning address space
         VmMapping mapping;  ///< the (possibly superpage) mapping
     };
 
@@ -112,6 +116,20 @@ class Hpt
     std::size_t size() const { return liveEntries_; }
 
     static constexpr Addr entryBytes = 16;
+
+    /**
+     * Chain keys carry the owning address space above the VPN: the
+     * simulated space is 32-bit, so base-page VPNs fit in 20 bits and
+     * the ASID sits safely at bit 40. ASID 0 keys therefore equal the
+     * raw VPN, keeping single-process machines bit-identical.
+     */
+    static constexpr unsigned asidKeyShift = 40;
+
+    static Addr
+    keyFor(Addr vpn, unsigned asid)
+    {
+        return vpn | (Addr{asid} << asidKeyShift);
+    }
 
   private:
     struct ChainedEntry

@@ -1,5 +1,7 @@
 #include "os/kernel.hh"
 
+#include <string>
+
 #include "base/intmath.hh"
 #include "mmc/mmc.hh"
 
@@ -15,8 +17,6 @@ Kernel::Kernel(const KernelConfig &config, const PhysMap &physmap,
               physmap.numRealPages() - KernelLayout::firstUserPfn,
               config.frameSeed),
       hpt_(KernelLayout::hptBase, config.hptBuckets),
-      space_(std::make_unique<AddressSpace>(KernelLayout::ptPoolBase)),
-      sbrkPrealloc_(config.sbrkPreallocBytes),
       statGroup_("kernel"),
       tlbMisses_(statGroup_.addScalar("tlb_misses",
                                       "TLB miss traps handled")),
@@ -66,6 +66,111 @@ Kernel::Kernel(const KernelConfig &config, const PhysMap &physmap,
             physmap.shadowRange(),
             BucketShadowAllocator::partitionFor(physmap.shadowRange()));
     }
+
+    // Process 0: the whole page-table pool, exactly as the
+    // single-process kernel laid it out. Later processes carve
+    // bounded slices (createProcess).
+    auto p0 = std::make_unique<Process>();
+    p0->space =
+        std::make_unique<AddressSpace>(KernelLayout::ptPoolBase);
+    p0->sbrkPrealloc = config.sbrkPreallocBytes;
+    processes_.push_back(std::move(p0));
+
+    // Core 0 wraps the construction-time references; its IPI hook is
+    // installed by the System once the CPU model exists.
+    cores_.push_back(CoreCtx{&tlb_, &uitlb_, {}, 0});
+}
+
+unsigned
+Kernel::createProcess()
+{
+    const unsigned id = static_cast<unsigned>(processes_.size());
+    fatalIf(id >= KernelLayout::maxProcesses,
+            "page-table pool supports at most ",
+            KernelLayout::maxProcesses, " processes");
+    auto p = std::make_unique<Process>();
+    p->space = std::make_unique<AddressSpace>(
+        KernelLayout::ptPoolBase +
+            Addr{id} * KernelLayout::perProcessPtPoolBytes,
+        KernelLayout::perProcessPtPoolBytes);
+    p->sbrkPrealloc = config_.sbrkPreallocBytes;
+    processes_.push_back(std::move(p));
+    return id;
+}
+
+void
+Kernel::attachCore(Tlb *tlb, MicroItlb *uitlb,
+                   std::function<void(Cycles)> charge_ipi)
+{
+    panicIf(tlb == nullptr || uitlb == nullptr,
+            "attachCore needs a TLB and a micro-ITLB");
+    cores_.push_back(CoreCtx{tlb, uitlb, std::move(charge_ipi), 0});
+
+    // Received-shootdown counters exist only on multi-core machines
+    // (conditional registration keeps single-core output
+    // byte-identical). The second core's arrival registers core 0's
+    // counter too.
+    if (cores_.size() == 2) {
+        shootdownStats_.push_back(&statGroup_.addScalar(
+            "shootdowns_core0",
+            "TLB shootdown IPIs serviced by core 0"));
+    }
+    const unsigned id = static_cast<unsigned>(cores_.size()) - 1;
+    shootdownStats_.push_back(&statGroup_.addScalar(
+        "shootdowns_core" + std::to_string(id),
+        "TLB shootdown IPIs serviced by core " + std::to_string(id)));
+}
+
+bool
+Kernel::bindProcess(unsigned core, unsigned proc)
+{
+    panicIf(core >= cores_.size(), "no core ", core);
+    panicIf(proc >= processes_.size(), "no process ", proc);
+    CoreCtx &ctx = cores_[core];
+    if (ctx.proc == proc)
+        return false;
+
+    ctx.proc = proc;
+    // Entries are not ASID-tagged: a context switch flushes the
+    // core's whole translation state. The explicit epoch bump also
+    // kills L0 memoizations and batch anchors even when the TLB held
+    // no purgeable entry.
+    ctx.tlb->purgeAll();
+    ctx.tlb->bumpTranslationEpoch();
+    ctx.uitlb->invalidate();
+    return true;
+}
+
+void
+Kernel::shootdownRemote(Addr vbase, Addr bytes, bool inval_uitlb)
+{
+    if (cores_.size() < 2)
+        return;
+    if (suppressNextShootdown_) {
+        suppressNextShootdown_ = false;
+        return;
+    }
+
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+        // Every remote core is a target: entries are not ASID-tagged,
+        // so without residency tracking the kernel cannot rule out
+        // that core c still caches something from this address space.
+        if (c == activeCore_)
+            continue;
+        Tlb &tlb = *cores_[c].tlb;
+        if (bytes > 0)
+            tlb.purgeRange(vbase, bytes);
+        // Mirror the local site: the epoch bump retires the remote
+        // core's L0 memoizations and batch anchors even when no TLB
+        // entry covered the range (epoch-only shootdowns pass
+        // bytes==0).
+        tlb.bumpTranslationEpoch();
+        if (inval_uitlb)
+            cores_[c].uitlb->invalidate();
+        if (cores_[c].chargeIpi)
+            cores_[c].chargeIpi(config_.ipiCycles);
+        ++*shootdownStats_[c];
+    }
 }
 
 Cycles
@@ -101,12 +206,12 @@ Cycles
 Kernel::materialisePage(Addr vaddr, Cycles now)
 {
     const Addr pfn = frames_.allocate();
-    space_->installFrame(vaddr, pfn);
+    space().installFrame(vaddr, pfn);
     if (observer_)
         observer_->onPageMapped(pageBase(vaddr), pfn);
     Cycles cycles = zeroFill(pfn, now);
     // Install the PTE in the two-level page table.
-    cycles += kernelAccess(space_->l2EntryAddr(vaddr), true,
+    cycles += kernelAccess(space().l2EntryAddr(vaddr), true,
                            now + cycles);
 
     // §4 all-shadow operation: the CPU never sees real addresses;
@@ -115,7 +220,7 @@ Kernel::materialisePage(Addr vaddr, Cycles now)
     // being built will map them in a moment.
     if (config_.allShadowMode && shadowAlloc_ && !inRemap_ &&
         memsys_.mmc().hasMtlb() &&
-        space_->findSuperpage(vaddr) == nullptr) {
+        space().findSuperpage(vaddr) == nullptr) {
         if (auto page = pagePool().allocate()) {
             // The page was zeroed through non-allocating stores and
             // was never mapped, so there is nothing to flush.
@@ -146,7 +251,7 @@ Cycles
 Kernel::mapPageToShadow(Addr vbase, Addr shadow_page, Cycles now,
                         bool fresh)
 {
-    const Addr pfn = space_->frameOf(vbase);
+    const Addr pfn = space().frameOf(vbase);
     const Addr spi = physMap_.shadowPageIndex(shadow_page);
 
     Cycles cycles = memsys_.controlOp(
@@ -161,19 +266,20 @@ Kernel::mapPageToShadow(Addr vbase, Addr shadow_page, Cycles now,
                                    now + cycles);
     }
 
-    cycles += chargeHptTouches(hpt_.remove(vbase, 0), true,
+    cycles += chargeHptTouches(hpt_.remove(vbase, 0, asid()), true,
                                now + cycles);
-    const VmRegion *region = space_->findRegion(vbase);
+    const VmRegion *region = space().findRegion(vbase);
     panicIf(region == nullptr, "shadow-mapping an unmapped page");
     cycles += chargeHptTouches(
-        hpt_.insert({vbase, shadow_page, 0, region->prot}), true,
-        now + cycles);
+        hpt_.insert({vbase, shadow_page, 0, region->prot}, asid()),
+        true, now + cycles);
 
-    tlb_.purgeRange(vbase, basePageSize);
+    activeTlb().purgeRange(vbase, basePageSize);
     // purgeRange only bumps the translation epoch when it drops an
     // entry; the mapping switched real->shadow regardless.
-    tlb_.bumpTranslationEpoch();
-    space_->addSuperpage({vbase, shadow_page, 0});
+    activeTlb().bumpTranslationEpoch();
+    shootdownRemote(vbase, basePageSize, false);
+    space().addSuperpage({vbase, shadow_page, 0});
     if (observer_)
         observer_->onSuperpageCreated(vbase, shadow_page, 0);
     return cycles;
@@ -182,13 +288,13 @@ Kernel::mapPageToShadow(Addr vbase, Addr shadow_page, Cycles now,
 Cycles
 Kernel::demoteSingleShadowPage(Addr vaddr, Cycles now)
 {
-    const ShadowSuperpage *sp = space_->findSuperpage(vaddr);
+    const ShadowSuperpage *sp = space().findSuperpage(vaddr);
     panicIf(sp == nullptr || sp->sizeClass != 0,
             "not a single-page shadow mapping");
     const Addr vbase = sp->vbase;
     const Addr shadow_page = sp->shadowBase;
     const Addr spi = physMap_.shadowPageIndex(shadow_page);
-    const VmRegion *region = space_->findRegion(vbase);
+    const VmRegion *region = space().findRegion(vbase);
 
     // Flush shadow-tagged lines, retire the mapping, and republish
     // the page at its real address.
@@ -196,15 +302,17 @@ Kernel::demoteSingleShadowPage(Addr vaddr, Cycles now)
     cycles += memsys_.controlOp(
         now + cycles,
         [&](Mmc &mmc) { return mmc.clearShadowMapping(spi); });
-    cycles += chargeHptTouches(hpt_.remove(vbase, 0), true,
+    cycles += chargeHptTouches(hpt_.remove(vbase, 0, asid()), true,
                                now + cycles);
     cycles += chargeHptTouches(
-        hpt_.insert({vbase, space_->frameOf(vbase) << basePageShift,
-                     0, region->prot}),
+        hpt_.insert({vbase, space().frameOf(vbase) << basePageShift,
+                     0, region->prot},
+                    asid()),
         true, now + cycles);
-    tlb_.purgeRange(vbase, basePageSize);
-    tlb_.bumpTranslationEpoch(); // mapping switched shadow->real
-    space_->removeSuperpage(vbase);
+    activeTlb().purgeRange(vbase, basePageSize);
+    activeTlb().bumpTranslationEpoch(); // switched shadow->real
+    shootdownRemote(vbase, basePageSize, false);
+    space().removeSuperpage(vbase);
     pagePool().free(shadow_page);
     if (observer_)
         observer_->onSuperpageDemoted(vbase);
@@ -216,7 +324,7 @@ Kernel::recolorPage(Addr vaddr, unsigned color, Cycles now)
 {
     fatalIf(!shadowAlloc_ || !memsys_.mmc().hasMtlb(),
             "recoloring requires shadow memory and an MTLB");
-    fatalIf(!space_->isPagePresent(vaddr),
+    fatalIf(!space().isPagePresent(vaddr),
             "recoloring an absent page");
 
     Cycles cycles = config_.syscallOverheadCycles;
@@ -225,7 +333,7 @@ Kernel::recolorPage(Addr vaddr, unsigned color, Cycles now)
     // Already shadow-mapped? Retire the old single-page mapping
     // first (recoloring a page inside a genuine superpage is not
     // supported — the superpage's layout is fixed).
-    if (const ShadowSuperpage *sp = space_->findSuperpage(vbase)) {
+    if (const ShadowSuperpage *sp = space().findSuperpage(vbase)) {
         fatalIf(sp->sizeClass != 0,
                 "cannot recolor inside a multi-page superpage");
         cycles += demoteSingleShadowPage(vbase, now + cycles);
@@ -244,10 +352,10 @@ Kernel::colorOf(Addr vaddr)
     const unsigned colors = static_cast<unsigned>(
         cache_.config().sizeBytes >> basePageShift);
     Addr paddr;
-    if (const ShadowSuperpage *sp = space_->findSuperpage(vaddr)) {
+    if (const ShadowSuperpage *sp = space().findSuperpage(vaddr)) {
         paddr = sp->shadowBase | (vaddr - sp->vbase);
     } else {
-        paddr = (space_->frameOf(vaddr) << basePageShift) |
+        paddr = (space().frameOf(vaddr) << basePageShift) |
                 pageOffset(vaddr);
     }
     return static_cast<unsigned>(paddr >> basePageShift) &
@@ -269,14 +377,14 @@ Kernel::chargeHptTouches(const std::vector<Addr> &addrs, bool write,
 VmMapping
 Kernel::mappingFor(Addr vaddr) const
 {
-    const VmRegion *region = space_->findRegion(vaddr);
+    const VmRegion *region = space().findRegion(vaddr);
     panicIf(region == nullptr,
             "mappingFor on unmapped address 0x", std::hex, vaddr);
 
-    if (const ShadowSuperpage *sp = space_->findSuperpage(vaddr)) {
+    if (const ShadowSuperpage *sp = space().findSuperpage(vaddr)) {
         return {sp->vbase, sp->shadowBase, sp->sizeClass, region->prot};
     }
-    return {pageBase(vaddr), space_->frameOf(vaddr) << basePageShift, 0,
+    return {pageBase(vaddr), space().frameOf(vaddr) << basePageShift, 0,
             region->prot};
 }
 
@@ -289,7 +397,7 @@ Kernel::handleTlbMiss(Addr vaddr, AccessType type, Cycles now)
 
     // Probe the hashed page table; every entry examined is a real
     // cached load.
-    Hpt::LookupResult lookup = hpt_.lookup(vaddr);
+    Hpt::LookupResult lookup = hpt_.lookup(vaddr, asid());
     cycles += chargeHptTouches(lookup.probeAddrs, false, now + cycles);
 
     // Cycles spent in the VM fault path (page-table walk + demand
@@ -301,26 +409,26 @@ Kernel::handleTlbMiss(Addr vaddr, AccessType type, Cycles now)
     if (!lookup.mapping) {
         ++vmFaults_;
         fault_cycles += config_.vmFaultOverheadCycles;
-        fault_cycles += kernelAccess(space_->l1EntryAddr(vaddr), false,
+        fault_cycles += kernelAccess(space().l1EntryAddr(vaddr), false,
                                      now + cycles + fault_cycles);
-        fault_cycles += kernelAccess(space_->l2EntryAddr(vaddr), false,
+        fault_cycles += kernelAccess(space().l2EntryAddr(vaddr), false,
                                      now + cycles + fault_cycles);
 
-        const VmRegion *region = space_->findRegion(vaddr);
+        const VmRegion *region = space().findRegion(vaddr);
         fatalIf(region == nullptr,
                 "segmentation fault: access to 0x", std::hex, vaddr);
 
-        panicIf(space_->findSuperpage(vaddr) != nullptr,
+        panicIf(space().findSuperpage(vaddr) != nullptr,
                 "superpage lost its HPT entry");
 
-        if (!space_->isPagePresent(vaddr))
+        if (!space().isPagePresent(vaddr))
             fault_cycles += materialisePage(vaddr,
                                             now + cycles + fault_cycles);
 
         lookup.mapping = mappingFor(vaddr);
-        fault_cycles += chargeHptTouches(hpt_.insert(*lookup.mapping),
-                                         true,
-                                         now + cycles + fault_cycles);
+        fault_cycles += chargeHptTouches(
+            hpt_.insert(*lookup.mapping, asid()), true,
+            now + cycles + fault_cycles);
         vmFaultCycles_ += static_cast<double>(fault_cycles);
     }
 
@@ -340,7 +448,7 @@ Kernel::handleTlbMiss(Addr vaddr, AccessType type, Cycles now)
     }
 
     const VmMapping &m = *lookup.mapping;
-    tlb_.insert(m.vbase, m.pbase, m.sizeClass, m.prot);
+    activeTlb().insert(m.vbase, m.pbase, m.sizeClass, m.prot);
 
     tlbMissCycles_ += static_cast<double>(cycles);
     return cycles + fault_cycles + promo_cycles;
@@ -358,16 +466,16 @@ Kernel::notePromotionCandidate(Addr vaddr, Cycles handler_cycles,
     const Addr chunk = vaddr & ~(chunk_bytes - 1);
 
     // Only whole chunks inside one region are candidates.
-    const VmRegion *region = space_->findRegion(chunk);
+    const VmRegion *region = space().findRegion(chunk);
     if (region == nullptr || region->end() < chunk + chunk_bytes)
         return 0;
 
-    Cycles &credit = promotionCredit_[chunk];
+    Cycles &credit = proc().promotionCredit[chunk];
     credit += handler_cycles;
     if (credit < config_.promotionThresholdCycles)
         return 0;
 
-    promotionCredit_.erase(chunk);
+    proc().promotionCredit.erase(chunk);
     debugPrintf(traceFlag_, "promoting chunk 0x", std::hex, chunk);
     const Cycles cost = remap(chunk, chunk_bytes, now, true);
     remapCalls_ += -1;  // kernel-internal, not a user remap()
@@ -417,7 +525,7 @@ Kernel::remap(Addr vbase, Addr bytes, Cycles now, bool internal)
         // shadow mappings from all-shadow mode or recoloring are
         // demoted page by page below and re-covered by the superpage
         // being built.
-        if (const ShadowSuperpage *sp = space_->findSuperpage(cursor)) {
+        if (const ShadowSuperpage *sp = space().findSuperpage(cursor)) {
             if (sp->sizeClass != 0) {
                 cursor = sp->vbase + sp->size();
                 continue;
@@ -431,8 +539,8 @@ Kernel::remap(Addr vbase, Addr bytes, Cycles now, bool internal)
         // frame double-maps it. Cap the chunk at the first such
         // superpage; the skip above steps over it next iteration.
         Addr chunk_end = end;
-        for (auto it = space_->superpages().upper_bound(cursor);
-             it != space_->superpages().end() &&
+        for (auto it = space().superpages().upper_bound(cursor);
+             it != space().superpages().end() &&
              it->second.vbase < chunk_end;
              ++it) {
             if (it->second.sizeClass != 0) {
@@ -474,7 +582,7 @@ Kernel::remap(Addr vbase, Addr bytes, Cycles now, bool internal)
         const Addr spi0 = physMap_.shadowPageIndex(*shadow_base);
         (void)shadow;
 
-        const VmRegion *region = space_->findRegion(cursor);
+        const VmRegion *region = space().findRegion(cursor);
         fatalIf(region == nullptr,
                 "remap() of unmapped range at 0x", std::hex, cursor);
         fatalIf(region->end() < cursor + sp_size,
@@ -489,7 +597,7 @@ Kernel::remap(Addr vbase, Addr bytes, Cycles now, bool internal)
 
             // Retire any single-page shadow mapping first.
             if (const ShadowSuperpage *single =
-                    space_->findSuperpage(va);
+                    space().findSuperpage(va);
                 single && single->sizeClass == 0) {
                 cycles += demoteSingleShadowPage(va, now + cycles);
             }
@@ -497,13 +605,13 @@ Kernel::remap(Addr vbase, Addr bytes, Cycles now, bool internal)
             // Ensure the base page is materialised (the paper's runs
             // remapped regions whose pages were already zero-filled;
             // fresh sbrk chunks are materialised here instead).
-            const bool fresh = !space_->isPagePresent(va);
+            const bool fresh = !space().isPagePresent(va);
             if (fresh) {
                 inRemap_ = true;
                 cycles += materialisePage(va, now + cycles);
                 inRemap_ = false;
             }
-            const Addr pfn = space_->frameOf(va);
+            const Addr pfn = space().frameOf(va);
 
             // Install the shadow->real mapping via an uncached write
             // to the MMC control registers (§2.4).
@@ -527,11 +635,12 @@ Kernel::remap(Addr vbase, Addr bytes, Cycles now, bool internal)
             // this page's replica of the superpage mapping — the
             // PA-RISC HPT hashes at base-page grain, so a superpage
             // is entered once per base page it covers.
-            cycles += chargeHptTouches(hpt_.remove(pageBase(va), 0),
-                                       true, now + cycles);
             cycles += chargeHptTouches(
-                hpt_.insertBasePageReplica(sp_mapping, va), true,
+                hpt_.remove(pageBase(va), 0, asid()), true,
                 now + cycles);
+            cycles += chargeHptTouches(
+                hpt_.insertBasePageReplica(sp_mapping, va, asid()),
+                true, now + cycles);
 
             cycles += config_.shootdownPerPageCycles;
             ++remapPages_;
@@ -540,13 +649,14 @@ Kernel::remap(Addr vbase, Addr bytes, Cycles now, bool internal)
         // Purge stale TLB mappings for the range and publish the
         // superpage mapping. The explicit epoch bump covers pages
         // that had no TLB entry to purge (superpage promotion).
-        tlb_.purgeRange(cursor, sp_size);
-        tlb_.bumpTranslationEpoch();
-        uitlb_.invalidate();
+        activeTlb().purgeRange(cursor, sp_size);
+        activeTlb().bumpTranslationEpoch();
+        activeUitlb().invalidate();
+        shootdownRemote(cursor, sp_size, true);
         debugPrintf(traceFlag_, "remap: superpage v=0x", std::hex,
                     cursor, " -> shadow 0x", *shadow_base, std::dec,
                     " class ", c);
-        space_->addSuperpage({cursor, *shadow_base, c});
+        space().addSuperpage({cursor, *shadow_base, c});
         if (observer_)
             observer_->onSuperpageCreated(cursor, *shadow_base, c);
         ++remapSuperpages_;
@@ -561,32 +671,32 @@ Kernel::remap(Addr vbase, Addr bytes, Cycles now, bool internal)
 void
 Kernel::initHeap(Addr base, Addr max_bytes)
 {
-    fatalIf(heapBase_ != 0, "heap already initialised");
+    fatalIf(proc().heapBase != 0, "heap already initialised");
     fatalIf(base & (pageSizeForClass(minShadowSizeClass) - 1),
             "heap base should be 16 KB aligned");
-    space_->addRegion("heap", base, max_bytes, PageProtection{});
-    heapBase_ = base;
-    brk_ = base;
-    remapFrontier_ = base;
+    space().addRegion("heap", base, max_bytes, PageProtection{});
+    proc().heapBase = base;
+    proc().brk = base;
+    proc().remapFrontier = base;
 }
 
 SbrkResult
 Kernel::sbrk(Addr bytes, Cycles now)
 {
     ++sbrkCalls_;
-    fatalIf(heapBase_ == 0,
+    fatalIf(proc().heapBase == 0,
             "sbrk() before setupHeap(): add a 'heap' region and call "
             "initHeap()");
 
     SbrkResult result;
-    result.oldBreak = brk_;
+    result.oldBreak = proc().brk;
     result.cycles = 20;  // libc-level bump allocation
 
     if (bytes == 0)
         return result;
 
-    const Addr new_brk = brk_ + bytes;
-    const VmRegion *heap = space_->findRegionByName("heap");
+    const Addr new_brk = proc().brk + bytes;
+    const VmRegion *heap = space().findRegionByName("heap");
     fatalIf(new_brk > heap->end(), "heap reservation exhausted");
 
     if (new_brk > grantedFrontier()) {
@@ -596,8 +706,8 @@ Kernel::sbrk(Addr bytes, Cycles now)
         result.cycles += config_.syscallOverheadCycles;
         const Addr min_superpage = pageSizeForClass(minShadowSizeClass);
         Addr chunk = roundUp(new_brk - grantedFrontier(), min_superpage);
-        if (chunk < sbrkPrealloc_)
-            chunk = sbrkPrealloc_;
+        if (chunk < proc().sbrkPrealloc)
+            chunk = proc().sbrkPrealloc;
         if (grantedFrontier() + chunk > heap->end())
             chunk = heap->end() - grantedFrontier();
 
@@ -607,10 +717,10 @@ Kernel::sbrk(Addr bytes, Cycles now)
                                    now + result.cycles);
             remapCalls_ += -1;  // internal call, not a user remap()
         }
-        remapFrontier_ = grantedFrontier() + chunk;
+        proc().remapFrontier = grantedFrontier() + chunk;
     }
 
-    brk_ = new_brk;
+    proc().brk = new_brk;
     return result;
 }
 
@@ -623,7 +733,7 @@ Kernel::handleShadowPageFault(Addr vaddr, Cycles now)
     if (observer_)
         observer_->onShadowFault(vaddr);
 
-    const ShadowSuperpage *sp = space_->findSuperpage(vaddr);
+    const ShadowSuperpage *sp = space().findSuperpage(vaddr);
     panicIf(sp == nullptr,
             "MTLB fault outside any shadow superpage: 0x", std::hex,
             vaddr);
@@ -633,7 +743,7 @@ Kernel::handleShadowPageFault(Addr vaddr, Cycles now)
 
     // Read the page back from disk into a fresh frame.
     const Addr pfn = frames_.allocate();
-    space_->installFrame(vaddr, pfn);
+    space().installFrame(vaddr, pfn);
     if (observer_)
         observer_->onPageMapped(pageBase(vaddr), pfn);
     cycles += config_.diskReadCycles;
@@ -648,8 +758,10 @@ Kernel::handleShadowPageFault(Addr vaddr, Cycles now)
 
     // Frame reuse + MMC mapping change: the CPU-visible translation
     // is untouched (§2.1), but invalidate the L0 fast path anyway so
-    // no memoized state can outlive a frame's identity.
-    tlb_.bumpTranslationEpoch();
+    // no memoized state can outlive a frame's identity. Remote cores
+    // get the same epoch-only shootdown.
+    activeTlb().bumpTranslationEpoch();
+    shootdownRemote(pageBase(vaddr), 0, false);
 
     cycles += config_.trapExitCycles;
     return cycles;
@@ -658,7 +770,7 @@ Kernel::handleShadowPageFault(Addr vaddr, Cycles now)
 SwapOutResult
 Kernel::swapOutSuperpagePagewise(Addr vbase, Cycles now)
 {
-    const ShadowSuperpage *sp = space_->findSuperpage(vbase);
+    const ShadowSuperpage *sp = space().findSuperpage(vbase);
     fatalIf(sp == nullptr, "no shadow superpage at 0x", std::hex, vbase);
     if (observer_)
         observer_->onSwapOut(sp->vbase, true);
@@ -669,7 +781,7 @@ Kernel::swapOutSuperpagePagewise(Addr vbase, Cycles now)
     const Addr spi0 = physMap_.shadowPageIndex(sp->shadowBase);
     for (Addr i = 0; i < sp->numBasePages(); ++i) {
         const Addr va = sp->vbase + (i << basePageShift);
-        if (!space_->isPagePresent(va))
+        if (!space().isPagePresent(va))
             continue;  // already swapped out
 
         // Cleaning flushes all the page's lines from the cache; tags
@@ -706,22 +818,24 @@ Kernel::swapOutSuperpagePagewise(Addr vbase, Cycles now)
                 return mmc.invalidateShadowMapping(spi0 + i);
             });
 
-        const Addr pfn = space_->removeFrame(va);
+        const Addr pfn = space().removeFrame(va);
         if (observer_)
             observer_->onPageUnmapped(va, pfn);
         frames_.free(pfn);
     }
     // The CPU TLB superpage entry and the HPT mapping stay valid:
     // the MMC faults precisely on any access to a swapped base page.
-    // The freed frames may be reused, so drop every L0 memoization.
-    tlb_.bumpTranslationEpoch();
+    // The freed frames may be reused, so drop every L0 memoization —
+    // on remote cores too (epoch-only shootdown).
+    activeTlb().bumpTranslationEpoch();
+    shootdownRemote(vbase, 0, false);
     return result;
 }
 
 SwapOutResult
 Kernel::swapOutSuperpageWhole(Addr vbase, Cycles now)
 {
-    const ShadowSuperpage *sp = space_->findSuperpage(vbase);
+    const ShadowSuperpage *sp = space().findSuperpage(vbase);
     fatalIf(sp == nullptr, "no shadow superpage at 0x", std::hex, vbase);
     if (observer_)
         observer_->onSwapOut(sp->vbase, false);
@@ -732,7 +846,7 @@ Kernel::swapOutSuperpageWhole(Addr vbase, Cycles now)
     const Addr spi0 = physMap_.shadowPageIndex(sp->shadowBase);
     for (Addr i = 0; i < sp->numBasePages(); ++i) {
         const Addr va = sp->vbase + (i << basePageShift);
-        if (!space_->isPagePresent(va))
+        if (!space().isPagePresent(va))
             continue;
 
         result.cycles += cache_.flushPage(
@@ -750,13 +864,14 @@ Kernel::swapOutSuperpageWhole(Addr vbase, Cycles now)
                 return mmc.invalidateShadowMapping(spi0 + i);
             });
 
-        const Addr pfn = space_->removeFrame(va);
+        const Addr pfn = space().removeFrame(va);
         if (observer_)
             observer_->onPageUnmapped(va, pfn);
         frames_.free(pfn);
     }
     // As in the pagewise path: frames freed here may be reused.
-    tlb_.bumpTranslationEpoch();
+    activeTlb().bumpTranslationEpoch();
+    shootdownRemote(vbase, 0, false);
     return result;
 }
 

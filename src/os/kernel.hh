@@ -28,8 +28,10 @@
 #ifndef MTLBSIM_OS_KERNEL_HH
 #define MTLBSIM_OS_KERNEL_HH
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "base/debug.hh"
 #include "cache/cache.hh"
@@ -77,6 +79,12 @@ struct KernelConfig
     /** Synchronous disk read latency for a faulted base page. */
     Cycles diskReadCycles = 1'200'000; ///< ~5 ms at 240 MHz
     /** @} */
+
+    /** Cycles a remote core spends servicing one TLB-shootdown IPI
+     *  (interrupt entry + invalidate + acknowledge). Charged to each
+     *  remote core running the mutated address space; single-core
+     *  machines never pay it. */
+    Cycles ipiCycles = 300;
 
     unsigned hptBuckets = 16384;    ///< 16 K entries (§3.2)
 
@@ -133,6 +141,13 @@ struct KernelLayout
     static constexpr Addr ptPoolBase = 0x00400000;
     static constexpr Addr framePoolBase = 0x00800000;       // 8 MB
     static constexpr Addr firstUserPfn = framePoolBase >> basePageShift;
+
+    /** Page-table pool slice for each process after the first. The
+     *  4 MB pool region bounds the machine at 16 processes. */
+    static constexpr Addr perProcessPtPoolBytes = 0x00040000; // 256 KB
+    static constexpr unsigned maxProcesses =
+        static_cast<unsigned>((framePoolBase - ptPoolBase) /
+                              perProcessPtPoolBytes);
 };
 
 /**
@@ -216,6 +231,26 @@ struct SwapOutResult
 };
 
 /**
+ * One process: its address space plus the per-process kernel state
+ * (sbrk bookkeeping, online-promotion credit). Process 0 exists from
+ * construction so single-process machines behave exactly as before.
+ */
+struct Process
+{
+    std::unique_ptr<AddressSpace> space;
+
+    /** Online-promotion accounting: chunk base -> accumulated
+     *  miss-handler cycles. */
+    std::unordered_map<Addr, Cycles> promotionCredit;
+
+    /** sbrk state. */
+    Addr heapBase = 0;
+    Addr brk = 0;
+    Addr remapFrontier = 0;
+    Addr sbrkPrealloc = 0;
+};
+
+/**
  * The kernel.
  */
 class Kernel
@@ -269,12 +304,132 @@ class Kernel
     /** Superpage-aware sbrk() (§2.3). */
     SbrkResult sbrk(Addr bytes, Cycles now);
 
-    /** Current program break. */
-    Addr currentBreak() const { return brk_; }
+    /** Current program break (of the active process). */
+    Addr currentBreak() const { return proc().brk; }
 
     /** Change the sbrk() preallocation chunk (vortex shrinks it
      *  from 8 MB to 2 MB after building its datasets, §3.1). */
-    void setSbrkPrealloc(Addr bytes) { sbrkPrealloc_ = bytes; }
+    void setSbrkPrealloc(Addr bytes) { proc().sbrkPrealloc = bytes; }
+
+    /** @} */
+
+    /** @name Cores and processes (multi-core machine model)
+     *
+     * The kernel is shared machine state: every core traps into the
+     * same instance, and the CPU model names itself via
+     * setActiveCore() before each kernel entry. Core 0 is the
+     * construction-time TLB/micro-ITLB pair; further cores attach
+     * their private translation structures with attachCore().
+     * Processes are distinct address spaces time-sliced onto cores
+     * by the scheduler (src/workloads/multiprog.*).
+     */
+    /** @{ */
+
+    /** Register one more core's private translation structures.
+     *  @p charge_ipi is invoked on that core's CPU model for every
+     *  shootdown IPI it services. */
+    void attachCore(Tlb *tlb, MicroItlb *uitlb,
+                    std::function<void(Cycles)> charge_ipi);
+
+    /** (Re)set a core's IPI-service hook; used for core 0, whose
+     *  translation structures are bound at construction. */
+    void
+    setCoreIpi(unsigned core, std::function<void(Cycles)> charge_ipi)
+    {
+        panicIf(core >= cores_.size(), "no core ", core);
+        cores_[core].chargeIpi = std::move(charge_ipi);
+    }
+
+    /** Name the core whose trap/syscall the kernel is servicing.
+     *  Called by the CPU model before every kernel entry. */
+    void
+    setActiveCore(unsigned core)
+    {
+        panicIf(core >= cores_.size(), "no core ", core);
+        activeCore_ = core;
+    }
+
+    unsigned activeCore() const { return activeCore_; }
+
+    unsigned
+    numCores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+
+    /** Create a new process (empty address space, fresh sbrk state);
+     *  returns its index. Bounded by KernelLayout::maxProcesses. */
+    unsigned createProcess();
+
+    unsigned
+    numProcesses() const
+    {
+        return static_cast<unsigned>(processes_.size());
+    }
+
+    /**
+     * Context-switch @p core to @p proc: purge the core's TLB and
+     * micro-ITLB (entries are not ASID-tagged) and retarget its
+     * kernel entries at the new address space.
+     *
+     * @return true when a switch happened (false if already bound,
+     *         letting the scheduler charge switch cost only for real
+     *         switches)
+     */
+    bool bindProcess(unsigned core, unsigned proc);
+
+    unsigned
+    coreProcess(unsigned core) const
+    {
+        panicIf(core >= cores_.size(), "no core ", core);
+        return cores_[core].proc;
+    }
+
+    const Tlb &
+    coreTlb(unsigned core) const
+    {
+        panicIf(core >= cores_.size(), "no core ", core);
+        return *cores_[core].tlb;
+    }
+
+    AddressSpace &
+    processSpace(unsigned proc)
+    {
+        panicIf(proc >= processes_.size(), "no process ", proc);
+        return *processes_[proc]->space;
+    }
+
+    const AddressSpace &
+    processSpace(unsigned proc) const
+    {
+        panicIf(proc >= processes_.size(), "no process ", proc);
+        return *processes_[proc]->space;
+    }
+
+    /** Shootdown IPIs serviced by @p core (0 on single-core
+     *  machines, where no IPC ever fires). */
+    std::uint64_t
+    shootdownsReceived(unsigned core) const
+    {
+        if (core >= shootdownStats_.size())
+            return 0;
+        return static_cast<std::uint64_t>(
+            shootdownStats_[core]->value());
+    }
+
+    /**
+     * Swallow the next shootdownRemote() broadcast, leaving remote
+     * cores stale. Fault-injection support only (tools/fuzz's
+     * skipShootdown class): proves the cross-core coherence
+     * invariant actually fires.
+     */
+    void suppressNextShootdown() { suppressNextShootdown_ = true; }
+
+    /** Is a suppression pending? The model checker hashes this:
+     *  the flag changes future behaviour without touching any other
+     *  architectural state, so ignoring it would let a planted
+     *  skip-shootdown state be pruned against its clean twin. */
+    bool shootdownSuppressed() const { return suppressNextShootdown_; }
 
     /** @} */
 
@@ -310,8 +465,9 @@ class Kernel
 
     /** @} */
 
-    /** Define the process's regions before running a workload. */
-    AddressSpace &addressSpace() { return *space_; }
+    /** Define the active process's regions before running a
+     *  workload. */
+    AddressSpace &addressSpace() { return space(); }
 
     FrameAllocator &frames() { return frames_; }
     Hpt &hpt() { return hpt_; }
@@ -398,13 +554,55 @@ class Kernel
     VmMapping mappingFor(Addr vaddr) const;
 
     /** Highest heap address already granted (and remapped). */
-    Addr grantedFrontier() const { return remapFrontier_; }
+    Addr grantedFrontier() const { return proc().remapFrontier; }
+
+    /**
+     * Broadcast a TLB-shootdown IPI for [vbase, vbase+bytes) to
+     * every *other* core. TLB entries are not ASID-tagged, so the
+     * kernel cannot prove a remote core caches nothing from the
+     * mutated address space without tracking residency history; it
+     * conservatively IPIs them all, the classic pre-ASID Unix
+     * discipline. bytes==0 sends an epoch-only shootdown (frame
+     * reuse below an unchanged CPU-visible translation — the
+     * shadow-fault and swap-out sites); bytes>0 also purges the
+     * range. @p inval_uitlb mirrors remap()'s micro-ITLB
+     * invalidate. Each remote core is charged
+     * KernelConfig::ipiCycles and counts one received shootdown.
+     */
+    void shootdownRemote(Addr vbase, Addr bytes, bool inval_uitlb);
 
     /** Account a miss against the online-promotion policy and
      *  promote the containing chunk when it crosses the threshold.
      *  @return extra cycles spent promoting (0 normally). */
     Cycles notePromotionCandidate(Addr vaddr, Cycles handler_cycles,
                                   Cycles now);
+
+    /** One core's private translation structures, as seen by the
+     *  shared kernel. */
+    struct CoreCtx
+    {
+        Tlb *tlb = nullptr;
+        MicroItlb *uitlb = nullptr;
+        /** Charges IPI-service cycles to the core's CPU model. */
+        std::function<void(Cycles)> chargeIpi;
+        unsigned proc = 0;  ///< process currently bound to the core
+    };
+
+    /** @name Active-core plumbing (all reads go through these) */
+    /** @{ */
+    Tlb &activeTlb() { return *cores_[activeCore_].tlb; }
+    MicroItlb &activeUitlb() { return *cores_[activeCore_].uitlb; }
+    Process &proc() { return *processes_[cores_[activeCore_].proc]; }
+    const Process &
+    proc() const
+    {
+        return *processes_[cores_[activeCore_].proc];
+    }
+    AddressSpace &space() { return *proc().space; }
+    const AddressSpace &space() const { return *proc().space; }
+    /** HPT key tag for the active address space. */
+    unsigned asid() const { return cores_[activeCore_].proc; }
+    /** @} */
 
     KernelConfig config_;
     const PhysMap &physMap_;
@@ -421,22 +619,19 @@ class Kernel
     Hpt hpt_;
     std::unique_ptr<ShadowAllocator> shadowAlloc_;
     std::unique_ptr<ShadowPagePool> pagePool_;
-    std::unique_ptr<AddressSpace> space_;
 
-    /** Online-promotion accounting: chunk base -> accumulated
-     *  miss-handler cycles. */
-    std::unordered_map<Addr, Cycles> promotionCredit_;
+    /** All processes; [0] exists from construction. */
+    std::vector<std::unique_ptr<Process>> processes_;
+    /** All cores; [0] wraps the construction-time references. */
+    std::vector<CoreCtx> cores_;
+    unsigned activeCore_ = 0;
+    /** Fault injection (see suppressNextShootdown()). */
+    bool suppressNextShootdown_ = false;
 
     /** True while remap() materialises pages: suppresses all-shadow
      *  single-page mappings that the superpage under construction
      *  would immediately supersede. */
     bool inRemap_ = false;
-
-    /** sbrk state. */
-    Addr heapBase_ = 0;
-    Addr brk_ = 0;
-    Addr remapFrontier_ = 0;
-    Addr sbrkPrealloc_ = 0;
 
     stats::StatGroup statGroup_;
     stats::Scalar &tlbMisses_;
@@ -455,6 +650,11 @@ class Kernel
     stats::Scalar &pagesSwappedIn_;
     stats::Scalar &recoloredPages_;
     stats::Scalar &allShadowPages_;
+
+    /** Per-core received-shootdown counters; registered only when a
+     *  second core attaches, so single-core stat output is
+     *  byte-identical to the single-core machine's. */
+    std::vector<stats::Scalar *> shootdownStats_;
 };
 
 } // namespace mtlbsim

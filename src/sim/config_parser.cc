@@ -68,6 +68,20 @@ std::map<std::string, Setter>
 makeSetters()
 {
     return {
+        {"cores",
+         [](SystemConfig &c, const auto &k, const auto &v) {
+             c.cores = static_cast<unsigned>(parseUnsigned(k, v));
+             fatalIf(c.cores == 0, "config key '", k,
+                     "': a machine needs at least one core");
+         }},
+        {"sched.quantum",
+         [](SystemConfig &c, const auto &k, const auto &v) {
+             c.sched.quantum = parseUnsigned(k, v);
+         }},
+        {"sched.switch_cycles",
+         [](SystemConfig &c, const auto &k, const auto &v) {
+             c.sched.switchCycles = parseUnsigned(k, v);
+         }},
         {"tlb.entries",
          [](SystemConfig &c, const auto &k, const auto &v) {
              c.tlbEntries =
@@ -90,6 +104,10 @@ makeSetters()
         {"mtlb.writeback_bits",
          [](SystemConfig &c, const auto &k, const auto &v) {
              c.mtlb.writeBackAccessBits = parseBool(k, v);
+         }},
+        {"mtlb.port_cycles",
+         [](SystemConfig &c, const auto &k, const auto &v) {
+             c.mtlb.portOccupancyCycles = parseUnsigned(k, v);
          }},
         {"mem.installed_mb",
          [](SystemConfig &c, const auto &k, const auto &v) {
@@ -189,6 +207,10 @@ makeSetters()
         {"kernel.frame_seed",
          [](SystemConfig &c, const auto &k, const auto &v) {
              c.kernel.frameSeed = parseUnsigned(k, v);
+         }},
+        {"kernel.ipi_cycles",
+         [](SystemConfig &c, const auto &k, const auto &v) {
+             c.kernel.ipiCycles = parseUnsigned(k, v);
          }},
         {"check.enabled",
          [](SystemConfig &c, const auto &k, const auto &v) {

@@ -1,5 +1,7 @@
 #include "sim/system.hh"
 
+#include <string>
+
 #include "check/translation_auditor.hh"
 
 namespace mtlbsim
@@ -51,7 +53,43 @@ System::System(const SystemConfig &config)
                                        *uitlb_, *cache_, *memsys_,
                                        rootStats_);
     cpu_ = std::make_unique<Cpu>(config.cpu, *tlb_, *uitlb_, *cache_,
-                                 *memsys_, *kernel_, rootStats_);
+                                 *memsys_, *kernel_, rootStats_, 0);
+
+    // Cores 1..N-1: private TLB/micro-ITLB/CPU under a "core<N>"
+    // stats child, all sharing the cache-side machine and the kernel.
+    // Constructed after the legacy members so a single-core machine's
+    // statistics keep their exact names and order.
+    fatalIf(config.cores == 0, "a machine needs at least one core");
+    for (unsigned c = 1; c < config.cores; ++c) {
+        ExtraCore core;
+        core.statGroup = std::make_unique<stats::StatGroup>(
+            "core" + std::to_string(c));
+        core.tlb = std::make_unique<Tlb>(config.tlbEntries, "tlb",
+                                         *core.statGroup);
+        core.uitlb = std::make_unique<MicroItlb>(*core.statGroup);
+        core.cpu = std::make_unique<Cpu>(config.cpu, *core.tlb,
+                                         *core.uitlb, *cache_,
+                                         *memsys_, *kernel_,
+                                         *core.statGroup, c);
+        rootStats_.addChild(core.statGroup.get());
+        kernel_->attachCore(core.tlb.get(), core.uitlb.get(),
+                            [cpu = core.cpu.get()](Cycles n) {
+                                cpu->charge(n);
+                            });
+        extraCores_.push_back(std::move(core));
+    }
+    if (config.cores > 1) {
+        // Core 0 receives shootdown IPIs too.
+        kernel_->setCoreIpi(0, [cpu = cpu_.get()](Cycles n) {
+            cpu->charge(n);
+        });
+        // The MTLB's single port is only observable with rivals.
+        if (config.mtlbEnabled) {
+            memsys_->enablePortModel(
+                mmcToCpuCycles(config.mtlb.portOccupancyCycles),
+                rootStats_);
+        }
+    }
 
     // The auditor is always assembled (tests can call audit() on any
     // system); the config only decides whether the CPU triggers it
@@ -60,11 +98,19 @@ System::System(const SystemConfig &config)
         config.check, *tlb_, *cache_, *memsys_, *kernel_, physMap_,
         rootStats_);
     auditor_->attachL0(&cpu_->l0());
+    for (auto &core : extraCores_)
+        auditor_->attachCoreL0(&core.cpu->l0());
     if (config.check.enabled) {
         cpu_->setPeriodicCheck(config.check.interval,
                                [this](Cycles now) {
                                    auditor_->audit(now);
                                });
+        for (auto &core : extraCores_) {
+            core.cpu->setPeriodicCheck(config.check.interval,
+                                       [this](Cycles now) {
+                                           auditor_->audit(now);
+                                       });
+        }
     }
 }
 
@@ -77,13 +123,17 @@ System::audit()
     // reads any statistic (and so audits see final values, not the
     // lag-tolerant intermediate ones).
     cpu_->flushBatch();
-    auditor_->audit(cpu_->now());
+    for (auto &core : extraCores_)
+        core.cpu->flushBatch();
+    auditor_->audit(totalCycles());
 }
 
 void
 System::dumpStats(std::ostream &os) const
 {
     cpu_->flushBatch();
+    for (const auto &core : extraCores_)
+        core.cpu->flushBatch();
     rootStats_.print(os);
 }
 

@@ -23,6 +23,7 @@
 
 #include <memory>
 #include <ostream>
+#include <vector>
 
 #include "bus/bus.hh"
 #include "cache/cache.hh"
@@ -39,9 +40,29 @@ namespace mtlbsim
 
 class TranslationAuditor;
 
+/** Round-robin scheduler parameters (the multiprogramming runner,
+ *  src/workloads/multiprog.*). */
+struct SchedConfig
+{
+    /** Time slice per process, in CPU cycles. */
+    Cycles quantum = 1'000'000;
+    /** Full context-switch cost charged when a core rebinds to a
+     *  different process: register save/restore, scheduler work, and
+     *  the TLB/micro-ITLB purge the ASID-less hardware requires. */
+    Cycles switchCycles = 2'000;
+};
+
 /** Top-level machine configuration. */
 struct SystemConfig
 {
+    /** Cores sharing the bus, MMC (+ MTLB), and kernel. Each core
+     *  has a private CPU, unified TLB, and micro-ITLB; kernel
+     *  mutations of translation state shoot down remote cores
+     *  (docs/manual.md §12). */
+    unsigned cores = 1;
+    /** Scheduler parameters for multiprogrammed runs. */
+    SchedConfig sched;
+
     /** CPU TLB entries; the paper evaluates 64/96/128/256 (§3.4). */
     unsigned tlbEntries = 96;
 
@@ -77,10 +98,30 @@ class System
     explicit System(const SystemConfig &config);
     ~System();
 
-    Cpu &cpu() { return *cpu_; }
+    /** Core @p core's CPU (core 0 by default, so single-core callers
+     *  read as before). */
+    Cpu &
+    cpu(unsigned core = 0)
+    {
+        return core == 0 ? *cpu_ : *extraCores_[core - 1].cpu;
+    }
+    const Cpu &
+    cpu(unsigned core = 0) const
+    {
+        return core == 0 ? *cpu_ : *extraCores_[core - 1].cpu;
+    }
     Kernel &kernel() { return *kernel_; }
-    Tlb &tlb() { return *tlb_; }
-    MicroItlb &uitlb() { return *uitlb_; }
+    Tlb &
+    tlb(unsigned core = 0)
+    {
+        return core == 0 ? *tlb_ : *extraCores_[core - 1].tlb;
+    }
+    MicroItlb &
+    uitlb(unsigned core = 0)
+    {
+        return core == 0 ? *uitlb_ : *extraCores_[core - 1].uitlb;
+    }
+    unsigned numCores() const { return config_.cores; }
     Cache &cache() { return *cache_; }
     MemorySystem &memsys() { return *memsys_; }
     const PhysMap &physmap() const { return physMap_; }
@@ -102,8 +143,16 @@ class System
     /** @name Headline metrics for the experiments */
     /** @{ */
 
-    /** Total simulated runtime in CPU cycles. */
-    Cycles totalCycles() const { return cpu_->now(); }
+    /** Total simulated runtime in CPU cycles: the furthest-ahead
+     *  core's clock (they are equal on single-core machines). */
+    Cycles
+    totalCycles() const
+    {
+        Cycles t = cpu_->now();
+        for (const auto &c : extraCores_)
+            t = c.cpu->now() > t ? c.cpu->now() : t;
+        return t;
+    }
 
     /** Cycles spent in the TLB-miss trap handler (Fig 3's shaded
      *  fraction). */
@@ -125,6 +174,18 @@ class System
     /** @} */
 
   private:
+    /** One additional core's private machinery (cores 1..N-1; core 0
+     *  uses the flat legacy members so its statistics keep their
+     *  original names and order). Owned via unique_ptr throughout,
+     *  so no raw borrowed pointers live outside the System. */
+    struct ExtraCore
+    {
+        std::unique_ptr<stats::StatGroup> statGroup;    ///< "core<N>"
+        std::unique_ptr<Tlb> tlb;
+        std::unique_ptr<MicroItlb> uitlb;
+        std::unique_ptr<Cpu> cpu;
+    };
+
     SystemConfig config_;
     stats::StatGroup rootStats_;
     PhysMap physMap_;
@@ -134,6 +195,7 @@ class System
     std::unique_ptr<MicroItlb> uitlb_;
     std::unique_ptr<Kernel> kernel_;
     std::unique_ptr<Cpu> cpu_;
+    std::vector<ExtraCore> extraCores_;
     std::unique_ptr<TranslationAuditor> auditor_;
 };
 

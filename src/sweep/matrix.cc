@@ -84,6 +84,18 @@ goldenMatrix(double scale, const SystemConfig &machine)
         job.config = machine;
         m.jobs.push_back(std::move(job));
     }
+
+    // The multi-core baseline: a 2-core machine time-slicing a
+    // 4-process mix, pinning scheduler interleaving, shootdown
+    // counts, and the per-core stat layout.
+    SweepJob mix;
+    mix.id = "multicore_mix";
+    mix.workload = "multicore_mix";
+    mix.scale = scale;
+    mix.config = machine;
+    mix.config.cores = 2;
+    mix.processes = {"compress95", "vortex", "em3d", "compress95"};
+    m.jobs.push_back(std::move(mix));
     return m;
 }
 

@@ -6,6 +6,7 @@
 
 #include "base/logging.hh"
 #include "sim/system.hh"
+#include "workloads/multiprog.hh"
 #include "workloads/workload.hh"
 
 namespace mtlbsim::sweep
@@ -31,15 +32,21 @@ SweepRunner::runOne(const SweepJob &job, bool capture_stats)
     result.workload = job.workload;
     result.scale = job.scale;
     result.seed = job.seed;
+    result.processes = job.processes;
     try {
         SystemConfig config = job.config;
         if (job.seed)
             config.kernel.frameSeed = job.seed ^ 0x9e3779b97f4a7c15ULL;
 
         System sys(config);
-        auto workload = makeWorkload(job.workload, job.scale, job.seed);
-        workload->setup(sys);
-        workload->run(sys);
+        if (job.processes.empty()) {
+            auto workload =
+                makeWorkload(job.workload, job.scale, job.seed);
+            workload->setup(sys);
+            workload->run(sys);
+        } else {
+            runMultiprogMix(sys, job.processes, job.scale, job.seed);
+        }
         if (config.check.enabled)
             sys.audit();
 
@@ -116,6 +123,14 @@ resultToJson(const SweepResult &result)
     meta.set("workload", result.workload);
     meta.set("scale", result.scale);
     meta.set("seed", result.seed);
+    if (!result.processes.empty()) {
+        // Multiprogrammed job: record the mix. Absent for classic
+        // jobs so pre-multicore golden files stay byte-identical.
+        auto procs = json::Value::array();
+        for (const auto &p : result.processes)
+            procs.push(p);
+        meta.set("processes", std::move(procs));
+    }
     meta.set("ok", result.ok);
     if (!result.ok)
         meta.set("error", result.error);

@@ -44,6 +44,10 @@ struct SweepJob
      *  configuration); a nonzero value perturbs the workload trace
      *  and the frame-allocator shuffle deterministically. */
     std::uint64_t seed = 0;
+    /** Non-empty makes this a multiprogrammed job: process i runs
+     *  processes[i] under runMultiprogMix() on a config.cores-core
+     *  machine, and `workload` is just the mix's display name. */
+    std::vector<std::string> processes;
 };
 
 /** Outcome of one job. */
@@ -53,6 +57,8 @@ struct SweepResult
     std::string workload;
     double scale = 1.0;
     std::uint64_t seed = 0;
+    /** The multiprogrammed mix, when the job had one. */
+    std::vector<std::string> processes;
     bool ok = false;
     /** Failure message when !ok (fatal/panic text). */
     std::string error;

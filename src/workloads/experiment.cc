@@ -37,9 +37,10 @@ collectMetrics(System &sys, const std::string &workload_name)
 {
     const SystemConfig &config = sys.config();
 
-    // Realize the batch engine's deferred counts before reading any
+    // Realize every core's deferred batch counts before reading any
     // statistic below (or capturing the stats tree afterwards).
-    sys.cpu().flushBatch();
+    for (unsigned c = 0; c < sys.numCores(); ++c)
+        sys.cpu(c).flushBatch();
 
     ExperimentResult r;
     r.workload = workload_name;

@@ -65,7 +65,7 @@ GccWorkload::setup(System &sys)
 
     // §3.1: all superpage creation is performed by sbrk().
     kernel.initHeap(UserLayout::heapBase, UserLayout::heapMaxBytes);
-    kernel.setSbrkPrealloc(config_.preallocBytes);
+    cpu.setSbrkPrealloc(config_.preallocBytes);
 
     Random rng(config_.seed);
     // Compiler startup: reads its tables, touches much of its text.

@@ -33,7 +33,7 @@ OltpWorkload::setup(System &sys)
     // The engine allocates its table, index, and log through the
     // superpage-aware sbrk, like vortex/cc1 (§2.3).
     kernel.initHeap(UserLayout::heapBase, UserLayout::heapMaxBytes);
-    kernel.setSbrkPrealloc(config_.preallocBytes);
+    cpu.setSbrkPrealloc(config_.preallocBytes);
 
     cpu.executeAt(300'000, codeBase_);  // engine startup
 

@@ -54,7 +54,7 @@ VortexWorkload::setup(System &sys)
     // §3.1: initial sbrk preallocation (8 MB at full scale) so the
     // basic datasets land in one remapped group.
     kernel.initHeap(UserLayout::heapBase, UserLayout::heapMaxBytes);
-    kernel.setSbrkPrealloc(config_.initialPreallocBytes);
+    cpu.setSbrkPrealloc(config_.initialPreallocBytes);
 
     cpu.executeAt(200'000, codeBase_);  // program startup
 
@@ -98,7 +98,7 @@ VortexWorkload::setup(System &sys)
 
     // §3.1: after the basic datasets exist, the preallocation
     // increment drops (to 2 MB at full scale).
-    kernel.setSbrkPrealloc(config_.laterPreallocBytes);
+    cpu.setSbrkPrealloc(config_.laterPreallocBytes);
 }
 
 void

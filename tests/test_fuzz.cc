@@ -232,6 +232,68 @@ TEST(Fuzzer, OverlappingRemapsStayCoherent)
 }
 
 // ---------------------------------------------------------------
+// Multi-core lockstep: ops round-robin over the cores (all bound to
+// process 0), the oracle stays flat per address space, and every
+// access validates the issuing core plus any remote core that still
+// caches a translation for that address.
+// ---------------------------------------------------------------
+
+TEST(Multicore, CleanTreeRunsCleanOnTwoAndFourCores)
+{
+    for (unsigned cores : {2u, 4u}) {
+        FuzzParams params = paramsForSeed(3, 400, 8);
+        params.cores = cores;
+        const Schedule schedule = generateSchedule(params);
+        const RunResult result = runSchedule(schedule);
+        EXPECT_FALSE(result.failed)
+            << cores << " cores: [" << result.failure.detector
+            << "] " << result.failure.detail;
+        EXPECT_EQ(result.opsExecuted, schedule.ops.size());
+    }
+}
+
+TEST(Multicore, RunsAreDeterministic)
+{
+    FuzzParams params = paramsForSeed(5, 300, 8);
+    params.cores = 2;
+    const Schedule schedule = generateSchedule(params);
+    const RunResult a = runSchedule(schedule);
+    const RunResult b = runSchedule(schedule);
+    ASSERT_FALSE(a.failed)
+        << "[" << a.failure.detector << "] " << a.failure.detail;
+    ASSERT_FALSE(b.failed);
+    EXPECT_EQ(a.finalStats.dumped(2), b.finalStats.dumped(2));
+}
+
+TEST(Multicore, CoresFieldRoundTripsAndDefaultsToOne)
+{
+    FuzzParams params = paramsForSeed(11, 200, 8);
+    params.cores = 4;
+    EXPECT_EQ(paramsFromJson(paramsToJson(params)).cores, 4u);
+
+    // A trace recorded before the field existed (rebuild the params
+    // object without "cores") must replay single-core.
+    const json::Value recorded = paramsToJson(params);
+    json::Value legacy = json::Value::object();
+    for (const auto &[key, value] : recorded.members()) {
+        if (key != "cores")
+            legacy.set(key, value);
+    }
+    EXPECT_EQ(paramsFromJson(legacy).cores, 1u);
+}
+
+TEST(Multicore, SkipShootdownTripsCrossCoreInvariant)
+{
+    const Schedule schedule =
+        selfTestSchedule(FaultKind::SkipShootdown);
+    ASSERT_EQ(schedule.params.cores, 2u);
+    const RunResult result = runSchedule(schedule);
+    ASSERT_TRUE(result.failed)
+        << "suppressed shootdown was not detected";
+    EXPECT_EQ(result.failure.detector, "audit:cross-core-coherence");
+}
+
+// ---------------------------------------------------------------
 // Self-test: every corruption class must be caught, and the
 // shrinker must keep each reproducer small without losing the bug.
 // ---------------------------------------------------------------

@@ -86,5 +86,6 @@ TEST_P(GoldenStats, MatchesCommittedBaseline)
 
 INSTANTIATE_TEST_SUITE_P(
     PaperWorkloads, GoldenStats,
-    ::testing::Values("compress95", "vortex", "radix", "em3d", "cc1"),
+    ::testing::Values("compress95", "vortex", "radix", "em3d", "cc1",
+                      "multicore_mix"),
     [](const auto &info) { return info.param; });

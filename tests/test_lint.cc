@@ -774,7 +774,8 @@ TEST(LintSelfHost, DeletedEpochBumpIsCaught)
 {
     TempTree t;
     const auto fs =
-        lintWithDeletedLine(t, "tlb_.bumpTranslationEpoch();", {"R1"});
+        lintWithDeletedLine(t, "activeTlb().bumpTranslationEpoch();",
+                            {"R1"});
     ASSERT_FALSE(fs.empty());
     EXPECT_EQ(fs[0].id, "R1");
     EXPECT_EQ(fs[0].file, "src/os/kernel.cc");

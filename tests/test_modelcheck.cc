@@ -31,6 +31,49 @@ TEST(ModelCheck, Depth4ExhaustiveRunIsClean)
     EXPECT_EQ(r.stats.levelSizes.size(), 5u);
 }
 
+TEST(ModelCheck, TwoCoreDepth4ExhaustiveRunIsClean)
+{
+    ModelConfig cfg;
+    cfg.depth = 4;
+    cfg.cores = 2;
+    const ModelResult r = model::runModelCheck(cfg);
+    EXPECT_FALSE(r.failed)
+        << "[" << r.failure.detector << "] " << r.failure.detail;
+    EXPECT_FALSE(r.truncated);
+    // Pinned: the two-core reachable graph at depth 4. The count
+    // moves only when the shootdown protocol, the per-op core
+    // dispatch, or the canonical hash changes — all of which deserve
+    // a deliberate re-pin.
+    EXPECT_EQ(r.stats.statesExplored, 5193u);
+    EXPECT_EQ(r.stats.statesPruned, 5406u);
+    EXPECT_EQ(r.stats.edgesExecuted, 10598u);
+}
+
+TEST(ModelCheck, TwoCorePlantedSkipShootdownFoundMinimal)
+{
+    // One core to go stale, one to mutate behind its back: the
+    // minimal trace is inject + load (remote core caches the page)
+    // + remap with the broadcast swallowed — 3 ops.
+    ModelConfig cfg;
+    cfg.depth = 4;
+    cfg.cores = 2;
+    cfg.plantFault = fuzz::FaultKind::SkipShootdown;
+    const ModelResult r = model::runModelCheck(cfg);
+    ASSERT_TRUE(r.failed);
+    EXPECT_EQ(r.counterexample.size(), 3u);
+    EXPECT_EQ(r.failure.detector, "audit:cross-core-coherence");
+
+    // On a single core the injection is a guarded no-op: there is
+    // no remote TLB to leave stale, so the search stays clean.
+    ModelConfig solo;
+    solo.depth = 3;
+    solo.plantFault = fuzz::FaultKind::SkipShootdown;
+    const ModelResult clean = model::runModelCheck(solo);
+    EXPECT_FALSE(clean.failed)
+        << "[" << clean.failure.detector << "] "
+        << clean.failure.detail;
+}
+
 TEST(ModelCheck, SearchIsDeterministicAcrossRuns)
 {
     ModelConfig cfg;

@@ -17,7 +17,8 @@
 # --model appends the model-checker step to the sequence.
 # --labels L restricts every ctest invocation to tests carrying the
 # given ctest LABEL (unit | property | golden | fuzz | lint | model |
-# batch; comma/regex accepted, passed straight to `ctest -L`).
+# batch | multicore; comma/regex accepted, passed straight to
+# `ctest -L`).
 #
 # Unlike a plain `set -e` script, the driver keeps going after a
 # failing step (steps whose build prerequisite failed are skipped),

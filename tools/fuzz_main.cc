@@ -12,6 +12,10 @@
  *   # nightly sweep: 200 schedules starting at seed 1
  *   tools/fuzz --seed 1 --runs 200 --ops 2000
  *
+ *   # two-core sweep: ops round-robin over the cores, stale remote
+ *   # TLB entries and missed shootdowns become lockstep failures
+ *   tools/fuzz --seed 1 --runs 50 --cores 2
+ *
  *   # prove every FaultInjector corruption class is caught
  *   tools/fuzz --self-test
  *
@@ -54,6 +58,9 @@ usage()
         "2000)\n"
         "  --audit-every N    ops between oracle sweeps + audits "
         "(default 16)\n"
+        "  --cores N          machine cores; ops are dispatched on\n"
+        "                     core i %% N, all sharing one address\n"
+        "                     space (default 1)\n"
         "  --batch            run with the batched access engine on\n"
         "                     (cpu.batch_window 4096); lockstep and\n"
         "                     final stats must be unchanged\n"
@@ -195,6 +202,7 @@ main(int argc, char **argv)
     unsigned runs = 1;
     unsigned ops = 2000;
     unsigned audit_every = 16;
+    unsigned cores = 1;
     bool batch = false;
     bool self_test = false;
     std::string replay_file;
@@ -225,6 +233,13 @@ main(int argc, char **argv)
         } else if (token == "--audit-every") {
             audit_every =
                 static_cast<unsigned>(std::atoi(next_arg(i)));
+        } else if (token == "--cores") {
+            cores = static_cast<unsigned>(std::atoi(next_arg(i)));
+            if (cores == 0) {
+                std::fprintf(stderr,
+                             "--cores wants a positive count\n");
+                return 2;
+            }
         } else if (token == "--batch") {
             batch = true;
         } else if (token == "--self-test") {
@@ -257,6 +272,7 @@ main(int argc, char **argv)
         const std::uint64_t run_seed = seed + r;
         FuzzParams params =
             paramsForSeed(run_seed, ops, audit_every);
+        params.cores = cores;
         if (batch)
             params.batchWindow = 4096;
         const Schedule schedule = generateSchedule(params);

@@ -28,6 +28,8 @@ usage()
     std::cerr
         << "usage: modelcheck [options]\n"
            "  --depth N      bound the op-sequence length (default 6)\n"
+           "  --cores N      model-machine cores; ops dispatch on\n"
+           "                 core i %% N (default 1)\n"
            "  --config       print the model machine/alphabet and exit\n"
            "  --stats        print per-depth search statistics\n"
            "  --fault KIND   plant a FaultInjector corruption op and\n"
@@ -40,8 +42,9 @@ usage()
 void
 printConfig(const model::ModelConfig &cfg)
 {
-    const fuzz::FuzzParams p = model::modelParams();
+    const fuzz::FuzzParams p = model::modelParams(cfg.cores);
     std::cout << "model machine:\n"
+              << "  cores          " << p.cores << "\n"
               << "  tlb_entries    " << p.tlbEntries << "\n"
               << "  mtlb           " << p.mtlbEntries << " entries, "
               << p.mtlbAssoc << "-way\n"
@@ -82,6 +85,13 @@ main(int argc, char **argv)
         };
         if (arg == "--depth") {
             cfg.depth = static_cast<unsigned>(std::atoi(operand()));
+        } else if (arg == "--cores") {
+            cfg.cores = static_cast<unsigned>(std::atoi(operand()));
+            if (cfg.cores == 0) {
+                std::cerr << "modelcheck: --cores wants a positive "
+                             "count\n";
+                return 2;
+            }
         } else if (arg == "--config") {
             show_config = true;
         } else if (arg == "--stats") {
