@@ -110,6 +110,26 @@ class Registry
      *  target, and what the by-name helpers below operate on). */
     static Registry &process();
 
+    /** @name "info" log verbosity latch
+     * Backs setInformEnabled() (base/logging.hh). Lives on the
+     * registry so the process-wide observability state shares the one
+     * inventoried R6 exception instead of adding a second mutable
+     * global. Atomic (not mutex_-guarded): sweep worker threads log
+     * while the driver thread toggles it. */
+    /** @{ */
+    bool
+    informEnabled() const
+    {
+        return inform_.load(std::memory_order_relaxed);
+    }
+
+    void
+    setInformEnabled(bool enabled)
+    {
+        inform_.store(enabled, std::memory_order_relaxed);
+    }
+    /** @} */
+
   private:
     friend class Flag;
 
@@ -122,6 +142,8 @@ class Registry
     /** Names enabled by request: late-registered flags with an armed
      *  name start enabled. */
     std::set<std::string> armed_;
+    /** "info"-level logging enabled (see informEnabled() above). */
+    std::atomic<bool> inform_{true};
 };
 
 /** Enable a flag by name in the process registry; fatal when no such

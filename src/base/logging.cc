@@ -1,24 +1,16 @@
 #include "base/logging.hh"
 
-#include <atomic>
 #include <cstdio>
+
+#include "base/debug.hh"
 
 namespace mtlbsim
 {
 
-namespace
-{
-/** Atomic: sweep worker threads log while the driver toggles it.
- *  Inventoried R6 exception: a process-wide stderr verbosity latch
- *  with no simulated-behaviour reach; threading it through every
- *  panic/fatal call site would buy nothing. */
-std::atomic<bool> informEnabled{true};  // mtlb-lint: allow(R6)
-}
-
 void
 setInformEnabled(bool enabled)
 {
-    informEnabled.store(enabled, std::memory_order_relaxed);
+    debug::Registry::process().setInformEnabled(enabled);
 }
 
 namespace detail
@@ -28,7 +20,7 @@ void
 emitLog(const char *level, const std::string &msg)
 {
     if (level == std::string("info") &&
-        !informEnabled.load(std::memory_order_relaxed))
+        !debug::Registry::process().informEnabled())
         return;
     std::fprintf(stderr, "%s: %s\n", level, msg.c_str());
 }

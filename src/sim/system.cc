@@ -103,12 +103,12 @@ System::System(const SystemConfig &config)
     if (config.check.enabled) {
         cpu_->setPeriodicCheck(config.check.interval,
                                [this](Cycles now) {
-                                   auditor_->audit(now);
+                                   periodicAudit(now);
                                });
         for (auto &core : extraCores_) {
             core.cpu->setPeriodicCheck(config.check.interval,
                                        [this](Cycles now) {
-                                           auditor_->audit(now);
+                                           periodicAudit(now);
                                        });
         }
     }
@@ -117,23 +117,34 @@ System::System(const SystemConfig &config)
 System::~System() = default;
 
 void
+System::flushAllBatches() const
+{
+    cpu_->flushBatch();
+    for (const auto &core : extraCores_)
+        core.cpu->flushBatch();
+}
+
+void
 System::audit()
 {
     // Deferred batch counts must be realized before the auditor
     // reads any statistic (and so audits see final values, not the
     // lag-tolerant intermediate ones).
-    cpu_->flushBatch();
-    for (auto &core : extraCores_)
-        core.cpu->flushBatch();
+    flushAllBatches();
     auditor_->audit(totalCycles());
+}
+
+void
+System::periodicAudit(Cycles now)
+{
+    flushAllBatches();
+    auditor_->audit(now);
 }
 
 void
 System::dumpStats(std::ostream &os) const
 {
-    cpu_->flushBatch();
-    for (const auto &core : extraCores_)
-        core.cpu->flushBatch();
+    flushAllBatches();
     rootStats_.print(os);
 }
 

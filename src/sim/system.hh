@@ -174,6 +174,17 @@ class System
     /** @} */
 
   private:
+    /** Realize every core's deferred batch counters. Count-preserving
+     *  (Cpu::flushBatch() only moves deferred increments into the
+     *  stats), so const. Every deferred-stats reader — audit(),
+     *  dumpStats(), the periodic checks — must run this first
+     *  (mtlb-lint R12). */
+    void flushAllBatches() const;
+
+    /** Periodic-check callback: flush all batches, then audit at
+     *  @p now. */
+    void periodicAudit(Cycles now);
+
     /** One additional core's private machinery (cores 1..N-1; core 0
      *  uses the flat legacy members so its statistics keep their
      *  original names and order). Owned via unique_ptr throughout,

@@ -109,12 +109,30 @@ tokenize(const std::string &path, const std::string &text)
             ++i;
             continue;
         }
-        // Line comment.
+        // Line comment. A backslash immediately before the newline
+        // splices the next source line into the comment (the
+        // preprocessor's line-continuation rule applies to // text
+        // too), so keep consuming — and keep counting lines — until
+        // an unescaped newline ends it.
         if (c == '/' && peek(1) == '/') {
             size_t start = i;
-            while (i < n && text[i] != '\n')
+            int startLine = line;
+            while (i < n) {
+                if (text[i] == '\n') {
+                    size_t back = i;
+                    while (back > start && text[back - 1] == '\r')
+                        --back;
+                    if (back > start && text[back - 1] == '\\') {
+                        ++line;
+                        ++i;
+                        continue;
+                    }
+                    break;
+                }
                 ++i;
-            parseSuppression(text.substr(start, i - start), line, out);
+            }
+            parseSuppression(text.substr(start, i - start), startLine,
+                             out);
             continue;
         }
         // Block comment.
@@ -162,6 +180,8 @@ tokenize(const std::string &path, const std::string &text)
             while (i < n && text[i] != quote) {
                 if (text[i] == '\\') {
                     ++i;
+                    if (i < n && text[i] == '\n')
+                        ++line;     // spliced literal line
                 } else if (text[i] == '\n') {
                     ++line;     // unterminated; keep going defensively
                 }

@@ -6,10 +6,14 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 
+#include "callgraph.hh"
 #include "lexer.hh"
+#include "scopes.hh"
 
 namespace fs = std::filesystem;
 
@@ -112,7 +116,7 @@ listFiles(const std::string &root, const std::vector<std::string> &dirs,
 
 struct FnEvent
 {
-    enum Kind { Mutator, Bump, Hook, Callee, Return } kind;
+    enum Kind { Mutator, Bump, Hook, Callee, Return, Call } kind;
     size_t pos;             ///< token index
     int line;
     std::string name;       ///< mutator/hook/callee name
@@ -304,272 +308,16 @@ extractFunctions(const SourceFile &src, const RulesConfig &cfg)
                 }
             }
         }
+        // Generic call event: the interprocedural checks substitute
+        // the callee's summary (bump / broadcast / hook facts) here.
+        if (nextIs("(") && !isControlKeyword(tok.text))
+            cur.events.push_back({FnEvent::Call, i, tok.line, tok.text});
     }
     return fns;
 }
 
-// --------------------------------------------------------------------
-// Scope tree: a single structural pass shared by R6-R9.
-// --------------------------------------------------------------------
-
-enum class ScopeKind
-{
-    File,       ///< top level (treated as namespace scope)
-    Namespace,  ///< namespace { } / extern "C" { }
-    Class,      ///< class / struct / union / enum body
-    Func,       ///< function body (brace follows a parameter list)
-    Block,      ///< control-flow block / lambda body inside a function
-    Init,       ///< braced initialiser
-};
-
-struct Scope
-{
-    ScopeKind kind = ScopeKind::File;
-    std::string name;       ///< class/namespace name when known
-    size_t open = 0;        ///< token index of '{' (0 for File)
-    size_t close = 0;       ///< token index of '}' (n for File)
-    int parent = -1;
-};
-
-/**
- * A statement at some scope's own level: the indices of its tokens,
- * child-scope braces included as single '{' / '}' markers (their
- * contents belong to the child).
- */
-struct Stmt
-{
-    int scope = 0;
-    std::vector<size_t> toks;
-};
-
-struct ScopeTree
-{
-    std::vector<Scope> scopes;      ///< [0] is the File scope
-    std::vector<int> scopeOf;       ///< token index -> innermost scope
-    std::vector<Stmt> stmts;        ///< namespace/class-level statements
-
-    bool
-    isAncestor(int anc, int scope) const
-    {
-        for (int s = scope; s != -1; s = scopes[s].parent) {
-            if (s == anc)
-                return true;
-        }
-        return false;
-    }
-
-    /** Innermost enclosing Func scope, or -1. */
-    int
-    enclosingFunc(int scope) const
-    {
-        for (int s = scope; s != -1; s = scopes[s].parent) {
-            if (scopes[s].kind == ScopeKind::Func)
-                return s;
-        }
-        return -1;
-    }
-};
-
-bool
-classKeyword(const std::string &s)
-{
-    return s == "class" || s == "struct" || s == "union" || s == "enum";
-}
-
-/**
- * One linear pass classifying every brace and collecting per-scope
- * statements. Brace classification looks at the pending statement
- * tokens: a `namespace` keyword opens a Namespace, a class-head
- * keyword (outside a leading `template <...>` group) opens a Class,
- * a brace after `)` opens a Func at namespace/class scope and a
- * Block inside a function, and a brace after an identifier / `=` /
- * `,` is a braced initialiser. Preprocessor lines are skipped
- * wholesale (a `#` swallows the rest of its source line).
- */
-ScopeTree
-buildScopes(const std::vector<Token> &t)
-{
-    ScopeTree tree;
-    tree.scopes.push_back({ScopeKind::File, "", 0, t.size(), -1});
-    tree.scopeOf.assign(t.size(), 0);
-    std::vector<int> stack = {0};
-
-    // Pending statement (token indices) per open scope.
-    std::vector<std::vector<size_t>> pending(1);
-
-    auto flush = [&]() {
-        if (pending.back().empty())
-            return;
-        tree.stmts.push_back(Stmt{stack.back(), std::move(pending.back())});
-        pending.back().clear();
-    };
-
-    int ppLine = -1;    // line of an in-flight preprocessor directive
-    for (size_t i = 0; i < t.size(); ++i) {
-        const Token &tok = t[i];
-        tree.scopeOf[i] = stack.back();
-        if (ppLine != -1 && tok.line == ppLine)
-            continue;
-        ppLine = -1;
-        if (tok.kind == TokKind::Punct && tok.text == "#") {
-            ppLine = tok.line;
-            continue;
-        }
-
-        if (tok.kind == TokKind::Punct && tok.text == "{") {
-            const auto &p = pending.back();
-            const ScopeKind outer = tree.scopes[stack.back()].kind;
-            const bool outerIsType =
-                outer == ScopeKind::File || outer == ScopeKind::Namespace ||
-                outer == ScopeKind::Class;
-
-            ScopeKind kind = ScopeKind::Block;
-            std::string name;
-            bool sawNamespace = false, sawClass = false;
-            size_t angle = 0;
-            bool inTemplateIntro = false;
-            std::string lastIdent;
-            std::string classNameAfterKeyword;
-            bool wantClassName = false;
-            for (size_t pi : p) {
-                const Token &pt = t[pi];
-                if (pt.kind == TokKind::Identifier) {
-                    if (pt.text == "template") {
-                        inTemplateIntro = true;
-                    } else if (!inTemplateIntro) {
-                        if (pt.text == "namespace")
-                            sawNamespace = true;
-                        else if (classKeyword(pt.text))
-                            sawClass = wantClassName = true;
-                        else if (wantClassName &&
-                                 classNameAfterKeyword.empty())
-                            classNameAfterKeyword = pt.text;
-                        lastIdent = pt.text;
-                    }
-                } else if (pt.kind == TokKind::Punct) {
-                    if (pt.text == "<") {
-                        ++angle;
-                    } else if (pt.text == ">") {
-                        if (angle && --angle == 0)
-                            inTemplateIntro = false;
-                    }
-                }
-            }
-            const Token *prev = p.empty() ? nullptr : &t[p.back()];
-            // A function body's brace may trail cv/ref/virt
-            // qualifiers: `run(...) const noexcept override {`. Skip
-            // them so the `)`-rule still sees the parameter list.
-            static const std::set<std::string> kFnQualifiers = {
-                "const", "noexcept", "override", "final", "mutable"};
-            const Token *effPrev = nullptr;
-            for (size_t q = p.size(); q-- > 0;) {
-                const Token &qt = t[p[q]];
-                if (qt.kind == TokKind::Identifier &&
-                    kFnQualifiers.count(qt.text)) {
-                    continue;
-                }
-                if (qt.kind == TokKind::Punct && qt.text == "&")
-                    continue;   // ref-qualifier
-                effPrev = &qt;
-                break;
-            }
-            if (sawNamespace) {
-                kind = ScopeKind::Namespace;
-                name = lastIdent == "namespace" ? "" : lastIdent;
-            } else if (prev && prev->kind == TokKind::String) {
-                kind = ScopeKind::Namespace;    // extern "C" { }
-            } else if (effPrev && effPrev->kind == TokKind::Punct &&
-                       effPrev->text == ")") {
-                kind = outerIsType ? ScopeKind::Func : ScopeKind::Block;
-            } else if (sawClass) {
-                kind = ScopeKind::Class;
-                name = classNameAfterKeyword;
-            } else if (prev &&
-                       (prev->kind == TokKind::Identifier ||
-                        (prev->kind == TokKind::Punct &&
-                         (prev->text == "=" || prev->text == "," ||
-                          prev->text == "(" || prev->text == "[" ||
-                          prev->text == ">")))) {
-                // Braced initialiser (or a lambda body after a
-                // trailing return type; both are expression context).
-                kind = prev->kind == TokKind::Identifier &&
-                               prev->text == "return"
-                           ? ScopeKind::Block
-                           : ScopeKind::Init;
-            } else {
-                kind = outerIsType ? ScopeKind::Init : ScopeKind::Block;
-            }
-
-            // An Init brace stays part of its statement; everything
-            // else terminates the pending statement (recorded so
-            // e.g. a function signature is visible at its scope).
-            if (kind == ScopeKind::Init)
-                pending.back().push_back(i);
-            else
-                flush();
-
-            Scope s;
-            s.kind = kind;
-            s.name = name;
-            s.open = i;
-            s.close = t.size();
-            s.parent = stack.back();
-            tree.scopes.push_back(s);
-            stack.push_back(static_cast<int>(tree.scopes.size() - 1));
-            pending.emplace_back();
-            tree.scopeOf[i] = stack.back();
-            continue;
-        }
-        if (tok.kind == TokKind::Punct && tok.text == "}") {
-            if (stack.size() > 1) {
-                flush();
-                tree.scopes[stack.back()].close = i;
-                const ScopeKind closed = tree.scopes[stack.back()].kind;
-                tree.scopeOf[i] = stack.back();
-                stack.pop_back();
-                pending.pop_back();
-                // A closed initialiser remains part of the enclosing
-                // statement; a closed class awaits its declarator
-                // (`struct X { } x;` is rare but legal) - keep the
-                // brace markers in the pending statement for both.
-                if (closed == ScopeKind::Init) {
-                    pending.back().push_back(i);
-                } else {
-                    pending.back().clear();
-                }
-            }
-            continue;
-        }
-        if (tok.kind == TokKind::Punct && tok.text == ";") {
-            flush();
-            continue;
-        }
-        pending.back().push_back(i);
-    }
-    flush();    // trailing unterminated statement
-    return tree;
-}
-
-/** Token index just past a balanced `<...>` group starting at the
- *  `<` at @p i, or i+1 if it never closes. */
-size_t
-skipAngles(const std::vector<Token> &t, size_t i)
-{
-    size_t depth = 0;
-    for (size_t j = i; j < t.size(); ++j) {
-        if (t[j].kind != TokKind::Punct)
-            continue;
-        if (t[j].text == "<") {
-            ++depth;
-        } else if (t[j].text == ">") {
-            if (--depth == 0)
-                return j + 1;
-        } else if (t[j].text == ";") {
-            break;      // malformed / not a template argument list
-        }
-    }
-    return i + 1;
-}
+// The scope tree (buildScopes and friends) lives in scopes.hh; the
+// interprocedural engine in callgraph.hh.
 
 /**
  * Statement-level variable-definition detection shared by R6 and R7.
@@ -745,6 +493,26 @@ RulesConfig::load(const std::string &path)
             cfg.guardedMembers.push_back({a, b, c});
         } else if (dir == "det-sink") {
             cfg.detSinks.insert(a);
+        } else if (dir == "shootdown-call") {
+            cfg.shootdownCall = a;
+        } else if (dir == "purge-call") {
+            cfg.purgeCall = a;
+        } else if (dir == "r10-exempt") {
+            cfg.r10Exempt.insert(a);
+        } else if (dir == "percore-container") {
+            cfg.percoreContainers[a] = b;   // b may be empty
+        } else if (dir == "r11-exempt") {
+            cfg.r11Exempt.insert(a);
+        } else if (dir == "flush-call") {
+            cfg.flushCall = a;
+        } else if (dir == "r12-reader") {
+            auto dot = a.rfind('.');
+            if (dot == std::string::npos) {
+                cfg.r12Readers.push_back({"", a});
+            } else {
+                cfg.r12Readers.push_back(
+                    {a.substr(0, dot), a.substr(dot + 1)});
+            }
         } else if (dir == "banned") {
             cfg.banned.insert(a);
         } else if (dir == "banned-exempt") {
@@ -859,6 +627,41 @@ formatJson(const std::vector<Finding> &findings)
 namespace
 {
 
+/** id -> long name for every rule the engine knows, so stale-allow
+ *  can recognise annotations written either way. */
+const std::map<std::string, std::string> &
+ruleNames()
+{
+    static const std::map<std::string, std::string> kNames = {
+        {"R1", "epoch-discipline"},
+        {"R2", "observer-discipline"},
+        {"R3", "stats-registration"},
+        {"R4", "config-key-parity"},
+        {"R5", "hygiene"},
+        {"R6", "no-mutable-global-state"},
+        {"R7", "ownership-escape"},
+        {"R8", "lock-discipline"},
+        {"R9", "determinism-taint"},
+        {"R10", "shootdown-parity"},
+        {"R11", "core-confinement"},
+        {"R12", "batch-flush-discipline"},
+        {"SA", "stale-allow"},
+    };
+    return kNames;
+}
+
+/** Rule id for an allow() token ("R7" or "ownership-escape" -> "R7"),
+ *  or "" when the token names no known rule (prose in a comment). */
+std::string
+ruleIdForToken(const std::string &tok)
+{
+    for (const auto &[id, name] : ruleNames()) {
+        if (tok == id || tok == name)
+            return id;
+    }
+    return "";
+}
+
 class Linter
 {
   public:
@@ -875,10 +678,40 @@ class Linter
         return only_.empty() || only_.count(id);
     }
 
+    /** Whether a check should execute. Stale-allow judges the other
+     *  rules' suppressions, so enabling SA executes every check (its
+     *  findings are then filtered to the enabled ids in emit()). */
+    bool active(const std::string &id) const
+    {
+        return enabled(id) || enabled("SA");
+    }
+
+    /** Record which allow() entry suppressed a finding at @p line, so
+     *  stale-allow can later flag the entries that suppressed
+     *  nothing. Marks both spellings (id and long name) on whichever
+     *  line carries the annotation. */
+    void noteUse(const SourceFile &src, int line, const std::string &id,
+                 const std::string &name)
+    {
+        for (int l : {line, line - 1}) {
+            auto it = src.suppressions.find(l);
+            if (it == src.suppressions.end())
+                continue;
+            for (const std::string &tok : {id, name}) {
+                if (it->second.count(tok))
+                    used_.emplace(src.path, l, tok);
+            }
+        }
+    }
+
     void emit(const SourceFile &src, int line, const std::string &id,
               const std::string &name, const std::string &message)
     {
         const bool allowed = suppressed(src, line, id, name);
+        if (allowed)
+            noteUse(src, line, id, name);
+        if (!enabled(id))
+            return;     // executed only for stale-allow bookkeeping
         if (allowed && !keepAllowed_)
             return;
         findings_.push_back({src.path, line, id, name, message, allowed});
@@ -887,10 +720,13 @@ class Linter
     /** Emit bypassing the allow-annotation check. R6's ratchet uses
      *  this: an annotated global that is missing from the committed
      *  baseline must still be a finding, or annotations alone could
-     *  grow the inventory. */
+     *  grow the inventory. SA uses it too: a stale annotation cannot
+     *  allow() itself away. */
     void emitRaw(const std::string &file, int line, const std::string &id,
                  const std::string &name, const std::string &message)
     {
+        if (!enabled(id))
+            return;
         findings_.push_back({file, line, id, name, message, false});
     }
 
@@ -909,8 +745,16 @@ class Linter
     void checkOwnership();          // R7
     void checkLocks();              // R8
     void checkDeterminism();        // R9
+    void checkShootdownParity();    // R10
+    void checkCoreConfinement();    // R11
+    void checkBatchFlush();         // R12
+    void checkStaleAllows();        // SA (after all other checks)
 
     const ScopeTree &scopes(const std::string &rel);
+
+    /** Project-wide call graph with propagated summaries, built
+     *  lazily over every scanned .hh/.cc. */
+    const CallGraph &graph();
 
     std::string expectedGuard(const std::string &rel) const;
 
@@ -920,7 +764,12 @@ class Linter
     const bool keepAllowed_;
     std::map<std::string, SourceFile> cache_;
     std::map<std::string, ScopeTree> scopeCache_;
+    std::unique_ptr<CallGraph> graph_;
     std::vector<Finding> findings_;
+    /** Rule ids whose check actually executed (preconditions met). */
+    std::set<std::string> assessed_;
+    /** (file, line, allow-token) entries that suppressed a finding. */
+    std::set<std::tuple<std::string, int, std::string>> used_;
 };
 
 const SourceFile &
@@ -943,32 +792,76 @@ Linter::scopes(const std::string &rel)
     return it->second;
 }
 
+const CallGraph &
+Linter::graph()
+{
+    if (!graph_) {
+        graph_ = std::make_unique<CallGraph>();
+        for (const auto &rel :
+             listFiles(root_, cfg_.scanDirs, {".hh", ".cc"})) {
+            graph_->addFile(tokens(rel), scopes(rel), cfg_);
+        }
+        graph_->propagate(cfg_);
+    }
+    return *graph_;
+}
+
 void
 Linter::checkKernel()
 {
     if (cfg_.kernelFile.empty() ||
         !fs::exists(abs(cfg_.kernelFile)) ||
-        (!enabled("R1") && !enabled("R2"))) {
+        (!active("R1") && !active("R2"))) {
         return;
     }
+    assessed_.insert("R1");
+    assessed_.insert("R2");
     const SourceFile &src = tokens(cfg_.kernelFile);
     auto fns = extractFunctions(src, cfg_);
+    const CallGraph &g = graph();
 
-    for (const auto &fn : fns) {
+    // Substitute callee summaries at generic call sites so helper
+    // indirection is transparent: a call that always bumps counts as
+    // a bump, a call that may mutate (without bumping on all paths)
+    // counts as a mutation, and hooks every overload fires count as
+    // fired here.
+    std::vector<std::vector<FnEvent>> synth(fns.size());
+    for (size_t fi = 0; fi < fns.size(); ++fi) {
+        for (const auto &e : fns[fi].events) {
+            if (e.kind != FnEvent::Call)
+                continue;
+            if (g.callMustBump(cfg_.kernelFile, e.name)) {
+                synth[fi].push_back({FnEvent::Bump, e.pos, e.line, e.name});
+            } else if (g.callMayMutate(cfg_.kernelFile, e.name)) {
+                synth[fi].push_back(
+                    {FnEvent::Mutator, e.pos, e.line, e.name});
+            }
+            for (const auto &h : g.callMustHooks(cfg_.kernelFile, e.name))
+                synth[fi].push_back({FnEvent::Hook, e.pos, e.line, h});
+        }
+    }
+
+    for (size_t fi = 0; fi < fns.size(); ++fi) {
+        const auto &fn = fns[fi];
         std::vector<const FnEvent *> muts, bumps, hooks, callees;
         std::vector<size_t> exits;
-        for (const auto &e : fn.events) {
+        auto bucket = [&](const FnEvent &e) {
             switch (e.kind) {
               case FnEvent::Mutator: muts.push_back(&e); break;
               case FnEvent::Bump: bumps.push_back(&e); break;
               case FnEvent::Hook: hooks.push_back(&e); break;
               case FnEvent::Callee: callees.push_back(&e); break;
               case FnEvent::Return: exits.push_back(e.pos); break;
+              case FnEvent::Call: break;
             }
-        }
+        };
+        for (const auto &e : fn.events)
+            bucket(e);
+        for (const auto &e : synth[fi])
+            bucket(e);
         exits.push_back(fn.endPos);
 
-        if (enabled("R1") && !muts.empty()) {
+        if (active("R1") && !muts.empty()) {
             std::set<int> reported;
             for (size_t ex : exits) {
                 const FnEvent *last = nullptr;
@@ -995,7 +888,7 @@ Linter::checkKernel()
             }
         }
 
-        if (enabled("R2")) {
+        if (active("R2")) {
             if (!muts.empty() && hooks.empty()) {
                 emit(src, muts.front()->line, "R2", "observer-discipline",
                      "function '" + fn.name +
@@ -1030,16 +923,22 @@ Linter::checkKernel()
         }
     }
 
-    if (enabled("R2")) {
+    if (active("R2")) {
         for (const auto &rh : cfg_.requireHooks) {
-            for (const auto &fn : fns) {
+            for (size_t fi = 0; fi < fns.size(); ++fi) {
+                const auto &fn = fns[fi];
                 if (fn.name != rh.first)
                     continue;
                 bool fired = false;
-                for (const auto &e : fn.events) {
-                    if (e.kind == FnEvent::Hook && e.name == rh.second) {
-                        fired = true;
-                        break;
+                const std::vector<FnEvent> *lists[] = {
+                    &fn.events, &synth[fi]};
+                for (const auto *list : lists) {
+                    for (const auto &e : *list) {
+                        if (e.kind == FnEvent::Hook &&
+                            e.name == rh.second) {
+                            fired = true;
+                            break;
+                        }
                     }
                 }
                 if (!fired) {
@@ -1056,8 +955,9 @@ Linter::checkKernel()
 void
 Linter::checkStats()
 {
-    if (!enabled("R3") || cfg_.statAdders.empty())
+    if (!active("R3") || cfg_.statAdders.empty())
         return;
+    assessed_.insert("R3");
     static const std::set<std::string> kStatKinds = {
         "Scalar", "Average", "Histogram", "Formula",
     };
@@ -1128,10 +1028,11 @@ Linter::checkStats()
 void
 Linter::checkConfigParity()
 {
-    if (!enabled("R4") || cfg_.configSource.empty() ||
+    if (!active("R4") || cfg_.configSource.empty() ||
         !fs::exists(abs(cfg_.configSource))) {
         return;
     }
+    assessed_.insert("R4");
 
     struct KeyRef
     {
@@ -1296,8 +1197,9 @@ Linter::expectedGuard(const std::string &rel) const
 void
 Linter::checkHygiene()
 {
-    if (!enabled("R5"))
+    if (!active("R5"))
         return;
+    assessed_.insert("R5");
     auto files = listFiles(root_, cfg_.scanDirs, {".hh", ".cc"});
     for (const auto &rel : files) {
         bool exempt = false;
@@ -1386,8 +1288,9 @@ Linter::checkHygiene()
 void
 Linter::checkGlobals()
 {
-    if (!enabled("R6") || cfg_.globalDirs.empty())
+    if (!active("R6") || cfg_.globalDirs.empty())
         return;
+    assessed_.insert("R6");
 
     // The committed ratchet baseline: `<file> <symbol>` per line.
     struct BaseEntry
@@ -1469,8 +1372,9 @@ Linter::checkGlobals()
             const int line = t[decl].line;
 
             if (suppressed(src, line, "R6", "no-mutable-global-state")) {
+                noteUse(src, line, "R6", "no-mutable-global-state");
                 if (inBaseline(rel, sym)) {
-                    if (keepAllowed_) {
+                    if (keepAllowed_ && enabled("R6")) {
                         findings_.push_back(
                             {rel, line, "R6", "no-mutable-global-state",
                              "mutable global '" + sym +
@@ -1514,8 +1418,9 @@ Linter::checkGlobals()
 void
 Linter::checkOwnership()
 {
-    if (!enabled("R7") || cfg_.ownedTypes.empty())
+    if (!active("R7") || cfg_.ownedTypes.empty())
         return;
+    assessed_.insert("R7");
     for (const auto &rel : listFiles(root_, cfg_.scanDirs,
                                      {".hh", ".cc"})) {
         const SourceFile &src = tokens(rel);
@@ -1584,8 +1489,11 @@ Linter::checkOwnership()
 void
 Linter::checkLocks()
 {
-    if (!enabled("R8"))
+    if (!active("R8") ||
+        (cfg_.lockIdents.empty() && cfg_.guardedMembers.empty())) {
         return;
+    }
+    assessed_.insert("R8");
 
     // Hot-path purity: simulator-core directories are single-threaded
     // by contract and must not mention locks or atomics at all.
@@ -1689,8 +1597,9 @@ Linter::checkLocks()
 void
 Linter::checkDeterminism()
 {
-    if (!enabled("R9") || cfg_.detSinks.empty())
+    if (!active("R9") || cfg_.detSinks.empty())
         return;
+    assessed_.insert("R9");
 
     static const std::set<std::string> kUnorderedTypes = {
         "unordered_map", "unordered_set", "unordered_multimap",
@@ -1851,6 +1760,213 @@ Linter::checkDeterminism()
     }
 }
 
+void
+Linter::checkShootdownParity()
+{
+    if (!active("R10") || cfg_.shootdownCall.empty() ||
+        cfg_.kernelFile.empty() || !fs::exists(abs(cfg_.kernelFile))) {
+        return;
+    }
+    assessed_.insert("R10");
+    const SourceFile &src = tokens(cfg_.kernelFile);
+    const auto fns = extractFunctions(src, cfg_);
+    const CallGraph &g = graph();
+
+    for (const auto &fn : fns) {
+        if (cfg_.r10Exempt.count(fn.name))
+            continue;
+        // Events in token order: explicit epoch bumps, broadcast
+        // events (direct shootdown calls or calls into helpers that
+        // always broadcast), purges, and exits.
+        std::vector<const FnEvent *> bumps;
+        std::vector<size_t> shoots, exits;
+        std::vector<const FnEvent *> purges, directShoots;
+        for (const auto &e : fn.events) {
+            if (e.kind == FnEvent::Bump) {
+                bumps.push_back(&e);
+            } else if (e.kind == FnEvent::Return) {
+                exits.push_back(e.pos);
+            } else if (e.kind == FnEvent::Call) {
+                if (e.name == cfg_.shootdownCall) {
+                    shoots.push_back(e.pos);
+                    directShoots.push_back(&e);
+                } else if (g.callMustBroadcast(cfg_.kernelFile, e.name)) {
+                    shoots.push_back(e.pos);
+                } else if (e.name == cfg_.purgeCall) {
+                    purges.push_back(&e);
+                }
+            }
+        }
+        exits.push_back(fn.endPos);
+
+        // Every explicit bump site must reach a broadcast before
+        // every exit after it (R1-style path approximation).
+        std::set<int> reported;
+        for (const auto *b : bumps) {
+            for (size_t ex : exits) {
+                if (ex <= b->pos)
+                    continue;
+                bool broadcast = false;
+                for (size_t s : shoots) {
+                    if (s > b->pos && s < ex) {
+                        broadcast = true;
+                        break;
+                    }
+                }
+                if (!broadcast && reported.insert(b->line).second) {
+                    emit(src, b->line, "R10", "shootdown-parity",
+                         "function '" + fn.name + "' bumps the "
+                         "translation epoch but can return without "
+                         "broadcasting " + cfg_.shootdownCall +
+                         "() to the remote cores (add r10-exempt for "
+                         "intentionally core-local flushes)");
+                }
+            }
+        }
+
+        // Argument discipline on direct broadcasts: 3 arguments, and
+        // (vbase, bytes) must repeat the nearest preceding ranged
+        // purge unless bytes is the whole-TLB sentinel 0.
+        for (const auto *sh : directShoots) {
+            auto args = callArgs(src.tokens, sh->pos);
+            if (args.size() != 3) {
+                emit(src, sh->line, "R10", "shootdown-parity",
+                     cfg_.shootdownCall + "() takes (vbase, bytes, "
+                     "inval_uitlb); found " +
+                     std::to_string(args.size()) + " argument(s)");
+                continue;
+            }
+            if (args[1] == "0")
+                continue;   // whole-TLB shootdown, no range to match
+            const FnEvent *purge = nullptr;
+            for (const auto *p : purges) {
+                if (p->pos < sh->pos && (!purge || p->pos > purge->pos))
+                    purge = p;
+            }
+            std::vector<std::string> pargs;
+            if (purge)
+                pargs = callArgs(src.tokens, purge->pos);
+            if (!purge || pargs.size() < 2 || pargs[0] != args[0] ||
+                pargs[1] != args[1]) {
+                emit(src, sh->line, "R10", "shootdown-parity",
+                     cfg_.shootdownCall + "(" + args[0] + ", " +
+                     args[1] + ", ...) does not repeat the nearest "
+                     "preceding " + cfg_.purgeCall + "() range" +
+                     (purge ? " (" + (pargs.empty() ? "" : pargs[0]) +
+                              ", " +
+                              (pargs.size() > 1 ? pargs[1] : "") + ")"
+                            : " (no preceding purge)") +
+                     "; broadcast the just-purged range or pass "
+                     "bytes == 0 for a whole-TLB shootdown");
+            }
+        }
+    }
+}
+
+void
+Linter::checkCoreConfinement()
+{
+    if (!active("R11") || cfg_.percoreContainers.empty())
+        return;
+    assessed_.insert("R11");
+    const CallGraph &g = graph();
+    for (const auto &fn : g.functions()) {
+        if (fn.subscripts.empty() || cfg_.r11Exempt.count(fn.name))
+            continue;
+        for (const auto &sub : fn.subscripts) {
+            const std::string &activeIdx =
+                cfg_.percoreContainers.at(sub.container);
+            if (!activeIdx.empty() && sub.index == activeIdx)
+                continue;
+            emit(tokens(fn.file), sub.line, "R11", "core-confinement",
+                 "function '" + fn.name + "' subscripts per-core "
+                 "container '" + sub.container + "' with '" +
+                 sub.index + "'" +
+                 (activeIdx.empty()
+                      ? ""
+                      : " (not the active-core index '" + activeIdx +
+                            "')") +
+                 "; cross-core state may only be reached through the "
+                 "core-indexed accessors or the shootdown path "
+                 "(rules.cfg r11-exempt)");
+        }
+    }
+}
+
+void
+Linter::checkBatchFlush()
+{
+    if (!active("R12") || cfg_.flushCall.empty() ||
+        cfg_.r12Readers.empty()) {
+        return;
+    }
+    assessed_.insert("R12");
+    const CallGraph &g = graph();
+    for (size_t fi = 0; fi < g.functions().size(); ++fi) {
+        const FnDef &fn = g.functions()[fi];
+        bool flushed = false;
+        for (const auto &c : fn.calls) {
+            if (c.name == cfg_.flushCall || g.callMustFlush(fn.file, c.name)) {
+                flushed = true;
+                continue;
+            }
+            if (flushed)
+                continue;
+            bool direct = false;
+            for (const auto &r : cfg_.r12Readers) {
+                if (r.method == c.name && c.member &&
+                    (r.receiver.empty() || r.receiver == c.receiver)) {
+                    direct = true;
+                    break;
+                }
+            }
+            if (direct) {
+                emit(tokens(fn.file), c.line, "R12",
+                     "batch-flush-discipline",
+                     "function '" + fn.name + "' reads deferred "
+                     "statistics via '" + c.receiver + "." + c.name +
+                     "' with no preceding " + cfg_.flushCall +
+                     "(); per-core batch counters may still be "
+                     "deferred");
+            } else if (g.callMayReadUnprotected(fn.file, c.name)) {
+                emit(tokens(fn.file), c.line, "R12",
+                     "batch-flush-discipline",
+                     "function '" + fn.name + "' calls '" + c.name +
+                     "', which reads deferred statistics, with no "
+                     "preceding " + cfg_.flushCall +
+                     "(); per-core batch counters may still be "
+                     "deferred");
+            }
+        }
+    }
+}
+
+void
+Linter::checkStaleAllows()
+{
+    if (!enabled("SA"))
+        return;
+    for (const auto &rel :
+         listFiles(root_, cfg_.scanDirs, {".hh", ".cc"})) {
+        const SourceFile &src = tokens(rel);
+        for (const auto &[line, toks] : src.suppressions) {
+            for (const auto &tok : toks) {
+                const std::string id = ruleIdForToken(tok);
+                if (id.empty())
+                    continue;   // prose, not a rule annotation
+                if (!assessed_.count(id))
+                    continue;   // rule did not execute this run
+                if (used_.count({rel, line, tok}))
+                    continue;
+                emitRaw(rel, line, "SA", "stale-allow",
+                        "suppression 'allow(" + tok +
+                            ")' matches no " + id +
+                            " finding; delete the stale annotation");
+            }
+        }
+    }
+}
+
 std::vector<Finding>
 Linter::run()
 {
@@ -1862,6 +1978,10 @@ Linter::run()
     checkOwnership();
     checkLocks();
     checkDeterminism();
+    checkShootdownParity();
+    checkCoreConfinement();
+    checkBatchFlush();
+    checkStaleAllows();     // last: judges the other rules' output
     std::sort(findings_.begin(), findings_.end());
     findings_.erase(std::unique(findings_.begin(), findings_.end(),
                                 [](const Finding &a, const Finding &b) {

@@ -2,7 +2,8 @@
  * @file
  * mtlb-lint rule engine.
  *
- * Nine repo-specific semantic rules over the simulator sources:
+ * Twelve repo-specific semantic rules (plus the stale-allow
+ * diagnostic) over the simulator sources:
  *
  *  R1 epoch-discipline      every kernel function that mutates
  *                           translation state below the TLB must call
@@ -35,11 +36,40 @@
  *  R9 determinism-taint     no iteration over unordered containers or
  *                           pointer-keyed maps in a function that also
  *                           records stats or fires observer hooks.
+ *  R10 shootdown-parity     every explicit bumpTranslationEpoch()
+ *                           site in the kernel must be followed by a
+ *                           shootdownRemote() broadcast (directly or
+ *                           through a helper that always broadcasts)
+ *                           before every exit, and direct broadcasts
+ *                           must carry the just-purged (vbase, bytes)
+ *                           range or bytes == 0 (full-TLB semantics).
+ *  R11 core-confinement     per-core container subscripts may only
+ *                           use the active-core index; any other
+ *                           index is a cross-core poke and must live
+ *                           in one of the configured accessor /
+ *                           shootdown functions.
+ *  R12 batch-flush-discipline
+ *                           a function reading deferred statistics (a
+ *                           configured r12-reader call, directly or
+ *                           through its callees) must flush the batch
+ *                           counters first (flushBatch(), or a helper
+ *                           that always flushes).
+ *  SA stale-allow           every `mtlb-lint: allow(<rule>)`
+ *                           annotation must still suppress at least
+ *                           one finding of an executed rule; stale
+ *                           annotations are findings themselves (and
+ *                           cannot be allow()ed away).
+ *
+ * R1/R2/R10/R12 are interprocedural: per-function summaries ("bumps
+ * epoch", "broadcasts shootdown", "flushes batch counters", "reads
+ * deferred stats", "fires hook H") are computed over a project-wide
+ * call graph (callgraph.hh) and propagated through calls to a
+ * fixpoint, so helper indirection needs no `allow()` escapes.
  *
  * The rule inputs (mutator list, hook pairs, banned identifiers,
- * owned types, guarded members, file locations) live in
- * tools/lint/rules.cfg so the contract is an explicit, reviewable
- * artifact rather than hard-coded heuristics.
+ * owned types, guarded members, per-core containers, reader calls,
+ * file locations) live in tools/lint/rules.cfg so the contract is an
+ * explicit, reviewable artifact rather than hard-coded heuristics.
  *
  * Findings honour `// mtlb-lint: allow(<rule>)` suppression comments
  * on the same line or the line above; <rule> is either the short id
@@ -53,6 +83,7 @@
 #ifndef MTLBSIM_TOOLS_LINT_LINT_HH
 #define MTLBSIM_TOOLS_LINT_LINT_HH
 
+#include <map>
 #include <set>
 #include <string>
 #include <utility>
@@ -137,6 +168,31 @@ struct RulesConfig
      *  or observer hooks (`sample`, the KernelObserver hooks, ...). */
     std::set<std::string> detSinks;
 
+    // R10
+    /** The remote-TLB shootdown broadcast call. */
+    std::string shootdownCall;
+    /** The ranged TLB purge whose (vbase, bytes) arguments a direct
+     *  shootdown broadcast must repeat (unless bytes == 0). */
+    std::string purgeCall = "purgeRange";
+    /** Kernel functions exempt from shootdown parity: the core-local
+     *  context-switch flush and the broadcast primitive itself. */
+    std::set<std::string> r10Exempt;
+
+    // R11
+    /** Per-core container member -> the only identifier allowed as
+     *  its subscript outside exempt functions ("" = no index is ever
+     *  confined; every subscript needs an exemption). */
+    std::map<std::string, std::string> percoreContainers;
+    /** Functions allowed to index per-core containers freely: the
+     *  core-indexed accessors, core wiring, and the shootdown path. */
+    std::set<std::string> r11Exempt;
+
+    // R12
+    /** The deferred-counter flush call (any receiver). */
+    std::string flushCall;
+    /** receiver ("" = any) and method of a deferred-stats reader. */
+    std::vector<Mutator> r12Readers;
+
     /** Parse a rules.cfg. Throws std::runtime_error on IO/syntax
      *  errors. */
     static RulesConfig load(const std::string &path);
@@ -146,7 +202,7 @@ struct Finding
 {
     std::string file;   ///< repo-relative path
     int line = 0;
-    std::string id;     ///< "R1".."R9"
+    std::string id;     ///< "R1".."R12" / "SA"
     std::string name;   ///< long rule name
     std::string message;
     /** True when an `allow` annotation (plus, for R6, a baseline
@@ -184,6 +240,11 @@ std::string formatJson(const std::vector<Finding> &findings);
  * @param root  repo root; all RulesConfig paths resolve against it.
  * @param cfg   parsed rules.cfg.
  * @param only  if non-empty, run only rules whose id is in the set.
+ *              "SA" judges suppressions against the other rules'
+ *              findings, so selecting it executes every other check
+ *              for bookkeeping while reporting only the ids asked
+ *              for; a suppression is stale only relative to rules
+ *              that actually executed.
  * @param keepAllowed  when true, suppressed findings are returned
  *                     too, marked allowed (for --json reporting).
  * @return sorted findings (suppressions applied / marked).

@@ -30,7 +30,13 @@ usage(std::ostream &os)
           "  --rules FILE   rules file (default: <root>/tools/lint/"
           "rules.cfg)\n"
           "  --only LIST    comma-separated rule ids to run (default: "
-          "all)\n"
+          "all;\n"
+          "                 R1-R12 plus SA, the stale-allow "
+          "diagnostic,\n"
+          "                 which executes the other checks for "
+          "bookkeeping\n"
+          "                 and reports annotations that suppress "
+          "nothing)\n"
           "  --format KIND  output format: text (default), json "
           "(machine\n"
           "                 readable, includes allowed findings), or "
